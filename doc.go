@@ -1,0 +1,11 @@
+// Package repro reproduces Kepner et al., "Temporal Correlation of
+// Internet Observatories and Outposts" (IPDPS Workshops / GrAPL 2022,
+// arXiv:2203.10230): the correlation of unsolicited Internet traffic
+// sources seen by a darkspace telescope and a honeyfarm outpost.
+//
+// The implementation lives under internal/ (see DESIGN.md for the module
+// map); cmd/ holds the executables that regenerate every table and
+// figure, examples/ holds runnable walkthroughs, and bench_test.go at
+// this root is the benchmark harness with one benchmark per paper
+// artifact plus the design ablations.
+package repro

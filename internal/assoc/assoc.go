@@ -1,0 +1,308 @@
+// Package assoc implements D4M-style associative arrays: sparse
+// two-dimensional tables indexed by string row and column keys, the
+// representation the paper uses for GreyNoise honeyfarm data and for the
+// reduced CAIDA results at the correlation boundary ("After the unique
+// sources and packet counts are computed ... the reduced results are
+// converted to D4M associative arrays").
+//
+// An entry holds either a number or a string; sums operate on numbers.
+// The paper's example
+//
+//	At('1.1.1.1', '2.2.2.2') = '3'
+//
+// is Set("1.1.1.1", "2.2.2.2", Num(3)).
+package assoc
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// Value is a cell value: either numeric or a string.
+type Value struct {
+	Str     string
+	Num     float64
+	Numeric bool
+}
+
+// Num returns a numeric Value.
+func Num(v float64) Value { return Value{Num: v, Numeric: true} }
+
+// Str returns a string Value.
+func Str(s string) Value { return Value{Str: s} }
+
+// String renders the value the way D4M TSV files store it.
+func (v Value) String() string {
+	if v.Numeric {
+		return strconv.FormatFloat(v.Num, 'g', -1, 64)
+	}
+	return v.Str
+}
+
+// add combines two values: numbers sum; strings keep the lexicographic
+// maximum (a deterministic, associative, commutative choice mirroring
+// D4M's collision rule for non-numeric data).
+func add(a, b Value) Value {
+	if a.Numeric && b.Numeric {
+		return Num(a.Num + b.Num)
+	}
+	as, bs := a.String(), b.String()
+	if as >= bs {
+		return a
+	}
+	return b
+}
+
+// Assoc is a mutable associative array. The zero value is not usable;
+// call New.
+type Assoc struct {
+	cells map[string]map[string]Value // row -> col -> value
+	nnz   int
+}
+
+// New returns an empty associative array.
+func New() *Assoc {
+	return &Assoc{cells: make(map[string]map[string]Value)}
+}
+
+// Set stores v at (row, col), replacing any existing value.
+func (a *Assoc) Set(row, col string, v Value) {
+	r, ok := a.cells[row]
+	if !ok {
+		r = make(map[string]Value)
+		a.cells[row] = r
+	}
+	if _, exists := r[col]; !exists {
+		a.nnz++
+	}
+	r[col] = v
+}
+
+// Accum adds v into (row, col) using the D4M collision rule.
+func (a *Assoc) Accum(row, col string, v Value) {
+	if old, ok := a.Get(row, col); ok {
+		a.Set(row, col, add(old, v))
+		return
+	}
+	a.Set(row, col, v)
+}
+
+// Get returns the value at (row, col) and whether it exists.
+func (a *Assoc) Get(row, col string) (Value, bool) {
+	r, ok := a.cells[row]
+	if !ok {
+		return Value{}, false
+	}
+	v, ok := r[col]
+	return v, ok
+}
+
+// Delete removes the entry at (row, col) if present.
+func (a *Assoc) Delete(row, col string) {
+	if r, ok := a.cells[row]; ok {
+		if _, exists := r[col]; exists {
+			delete(r, col)
+			a.nnz--
+			if len(r) == 0 {
+				delete(a.cells, row)
+			}
+		}
+	}
+}
+
+// NNZ returns the number of stored cells.
+func (a *Assoc) NNZ() int { return a.nnz }
+
+// NRows returns the number of non-empty rows.
+func (a *Assoc) NRows() int { return len(a.cells) }
+
+// RowKeys returns the sorted row keys.
+func (a *Assoc) RowKeys() []string {
+	keys := make([]string, 0, len(a.cells))
+	for k := range a.cells {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// ColKeys returns the sorted distinct column keys.
+func (a *Assoc) ColKeys() []string {
+	set := make(map[string]bool)
+	for _, r := range a.cells {
+		for c := range r {
+			set[c] = true
+		}
+	}
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// HasRow reports whether the row key is present.
+func (a *Assoc) HasRow(row string) bool {
+	_, ok := a.cells[row]
+	return ok
+}
+
+// Row returns a copy of the row as a col->value map (nil if absent).
+func (a *Assoc) Row(row string) map[string]Value {
+	r, ok := a.cells[row]
+	if !ok {
+		return nil
+	}
+	out := make(map[string]Value, len(r))
+	for c, v := range r {
+		out[c] = v
+	}
+	return out
+}
+
+// Iterate visits every cell in sorted row-major order; stops early if fn
+// returns false.
+func (a *Assoc) Iterate(fn func(row, col string, v Value) bool) {
+	for _, row := range a.RowKeys() {
+		r := a.cells[row]
+		cols := make([]string, 0, len(r))
+		for c := range r {
+			cols = append(cols, c)
+		}
+		sort.Strings(cols)
+		for _, col := range cols {
+			if !fn(row, col, r[col]) {
+				return
+			}
+		}
+	}
+}
+
+// Copy returns a deep copy.
+func (a *Assoc) Copy() *Assoc {
+	out := New()
+	for row, r := range a.cells {
+		nr := make(map[string]Value, len(r))
+		for c, v := range r {
+			nr[c] = v
+		}
+		out.cells[row] = nr
+		out.nnz += len(nr)
+	}
+	return out
+}
+
+// SubRows returns the sub-array of rows for which keep returns true
+// (D4M's A(keys, :) sub-referencing).
+func (a *Assoc) SubRows(keep func(string) bool) *Assoc {
+	out := New()
+	for row, r := range a.cells {
+		if !keep(row) {
+			continue
+		}
+		for c, v := range r {
+			out.Set(row, c, v)
+		}
+	}
+	return out
+}
+
+// SubCols returns the sub-array of columns for which keep returns true.
+func (a *Assoc) SubCols(keep func(string) bool) *Assoc {
+	out := New()
+	for row, r := range a.cells {
+		for c, v := range r {
+			if keep(c) {
+				out.Set(row, c, v)
+			}
+		}
+	}
+	return out
+}
+
+// Plus returns a + b with the D4M collision rule per cell.
+func Plus(a, b *Assoc) *Assoc {
+	out := a.Copy()
+	for row, r := range b.cells {
+		for c, v := range r {
+			out.Accum(row, c, v)
+		}
+	}
+	return out
+}
+
+// And returns the structural intersection: cells present in both, values
+// combined with the collision rule.
+func And(a, b *Assoc) *Assoc {
+	out := New()
+	for row, r := range a.cells {
+		br, ok := b.cells[row]
+		if !ok {
+			continue
+		}
+		for c, v := range r {
+			if bv, ok := br[c]; ok {
+				out.Set(row, c, add(v, bv))
+			}
+		}
+	}
+	return out
+}
+
+// RowIntersect returns the sorted row keys present in both arrays — the
+// source-set overlap at the heart of the paper's correlation measurement.
+func RowIntersect(a, b *Assoc) []string {
+	var small, large *Assoc
+	if a.NRows() <= b.NRows() {
+		small, large = a, b
+	} else {
+		small, large = b, a
+	}
+	var out []string
+	for row := range small.cells {
+		if _, ok := large.cells[row]; ok {
+			out = append(out, row)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Transpose swaps rows and columns.
+func (a *Assoc) Transpose() *Assoc {
+	out := New()
+	for row, r := range a.cells {
+		for c, v := range r {
+			out.Set(c, row, v)
+		}
+	}
+	return out
+}
+
+// SumRows returns, for each row, the sum of its numeric cells as a
+// single-column array under colName.
+func (a *Assoc) SumRows(colName string) *Assoc {
+	out := New()
+	for row, r := range a.cells {
+		var s float64
+		any := false
+		for _, v := range r {
+			if v.Numeric {
+				s += v.Num
+				any = true
+			}
+		}
+		if any {
+			out.Set(row, colName, Num(s))
+		}
+	}
+	return out
+}
+
+// String summarizes the array shape.
+func (a *Assoc) String() string {
+	return fmt.Sprintf("assoc.Assoc{rows: %d, cols: %d, nnz: %d}",
+		a.NRows(), len(a.ColKeys()), a.NNZ())
+}

@@ -1,0 +1,70 @@
+package assoc
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// tsv.go reads and writes the triple-per-line TSV interchange format used
+// by D4M tooling: row<TAB>col<TAB>value, one cell per line. Numeric
+// values round-trip as numbers.
+
+// WriteTSV emits the array as sorted triples.
+func (a *Assoc) WriteTSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var err error
+	a.Iterate(func(row, col string, v Value) bool {
+		if strings.ContainsAny(row, "\t\n") || strings.ContainsAny(col, "\t\n") {
+			err = fmt.Errorf("assoc: key %q/%q contains tab or newline", row, col)
+			return false
+		}
+		marker := "s"
+		if v.Numeric {
+			marker = "n"
+		}
+		_, err = fmt.Fprintf(bw, "%s\t%s\t%s\t%s\n", row, col, marker, v.String())
+		return err == nil
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadTSV parses triples produced by WriteTSV.
+func ReadTSV(r io.Reader) (*Assoc, error) {
+	a := New()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		parts := strings.SplitN(line, "\t", 4)
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("assoc: line %d: want 4 tab-separated fields, got %d", lineNo, len(parts))
+		}
+		switch parts[2] {
+		case "n":
+			num, err := strconv.ParseFloat(parts[3], 64)
+			if err != nil {
+				return nil, fmt.Errorf("assoc: line %d: bad number %q: %v", lineNo, parts[3], err)
+			}
+			a.Set(parts[0], parts[1], Num(num))
+		case "s":
+			a.Set(parts[0], parts[1], Str(parts[3]))
+		default:
+			return nil, fmt.Errorf("assoc: line %d: unknown type marker %q", lineNo, parts[2])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}

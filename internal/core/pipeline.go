@@ -1,0 +1,360 @@
+// Package core wires the full reproduction pipeline together: a
+// radiation population observed simultaneously by a darkspace telescope
+// (constant-packet windows, anonymized hypersparse matrices) and a
+// honeyfarm outpost (monthly enriched D4M tables), followed by the
+// paper's correlation analysis. Each figure and table of the paper has a
+// dedicated emitter on Result.
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/correlate"
+	"repro/internal/honeyfarm"
+	"repro/internal/netquant"
+	"repro/internal/radiation"
+	"repro/internal/stats"
+	"repro/internal/telescope"
+)
+
+// Config parameterizes one full study.
+type Config struct {
+	Radiation radiation.Config
+
+	NV       int // telescope window size in valid packets
+	LeafSize int // hierarchical leaf size (paper: 2^17)
+	Workers  int // merge parallelism; 0 = GOMAXPROCS
+
+	Sensors        int    // honeyfarm sensor count
+	AnonPassphrase string // CryptoPAN key derivation
+
+	StudyStart    time.Time   // first honeyfarm month (paper: 2020-02-01)
+	SnapshotTimes []time.Time // telescope sample times (paper: five dates in 2020)
+
+	MinBandSources int // bands below this population are skipped in fits
+}
+
+// paperSnapshotTimes are the five CAIDA sample times of Table I.
+func paperSnapshotTimes() []time.Time {
+	return []time.Time{
+		time.Date(2020, 6, 17, 12, 0, 0, 0, time.UTC),
+		time.Date(2020, 7, 29, 0, 0, 0, 0, time.UTC),
+		time.Date(2020, 9, 16, 12, 0, 0, 0, time.UTC),
+		time.Date(2020, 10, 28, 0, 0, 0, 0, time.UTC),
+		time.Date(2020, 12, 16, 12, 0, 0, 0, time.UTC),
+	}
+}
+
+// DefaultConfig is the full laptop-scale study: 2^20-packet windows over
+// a 200k-source population, 15 honeyfarm months, the paper's five
+// snapshot dates.
+func DefaultConfig() Config {
+	return Config{
+		Radiation:      radiation.DefaultConfig(),
+		NV:             1 << 20,
+		LeafSize:       1 << 14,
+		Sensors:        300,
+		AnonPassphrase: "observatory-study",
+		StudyStart:     time.Date(2020, 2, 1, 0, 0, 0, 0, time.UTC),
+		SnapshotTimes:  paperSnapshotTimes(),
+		MinBandSources: 25,
+	}
+}
+
+// QuickConfig is a seconds-scale configuration for tests and examples:
+// 2^14-packet windows over a 10k-source population. The paper's laws
+// still emerge, with more statistical noise.
+func QuickConfig() Config {
+	c := DefaultConfig()
+	c.NV = 1 << 14
+	c.LeafSize = 1 << 10
+	c.Radiation.NumSources = 10000
+	c.Radiation.ZM = stats.PaperZM(1 << 12)
+	c.Radiation.BrightLog2 = 7 // log2(sqrt(2^14))
+	c.MinBandSources = 10
+	return c
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if err := c.Radiation.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case c.NV <= 0:
+		return fmt.Errorf("core: NV must be positive, got %d", c.NV)
+	case c.LeafSize <= 0:
+		return fmt.Errorf("core: LeafSize must be positive, got %d", c.LeafSize)
+	case c.Sensors <= 0:
+		return fmt.Errorf("core: Sensors must be positive, got %d", c.Sensors)
+	case len(c.SnapshotTimes) == 0:
+		return fmt.Errorf("core: at least one snapshot time required")
+	case c.StudyStart.IsZero():
+		return fmt.Errorf("core: StudyStart required")
+	}
+	for _, ts := range c.SnapshotTimes {
+		m := c.monthOf(ts)
+		if m < 0 || m >= float64(c.Radiation.Months) {
+			return fmt.Errorf("core: snapshot %v falls outside the %d-month study", ts, c.Radiation.Months)
+		}
+	}
+	return nil
+}
+
+// monthOf converts a timestamp to a fractional month index from
+// StudyStart (30.44-day months, the mean Gregorian length).
+func (c Config) monthOf(ts time.Time) float64 {
+	return ts.Sub(c.StudyStart).Hours() / 24 / 30.44
+}
+
+// SqrtNVLog2 returns log2(sqrt(NV)), the paper's brightness threshold
+// exponent (15 for NV = 2^30).
+func (c Config) SqrtNVLog2() float64 { return math.Log2(float64(c.NV)) / 2 }
+
+// Fig6Bands returns the brightness bands used for Figure 6, scaled to
+// this study's NV the way the paper's bands {2^0, 2^4, 2^8, 2^12, 2^16}
+// scale to sqrt(2^30) = 2^15.
+func (c Config) Fig6Bands() []int {
+	s := c.SqrtNVLog2() / 15.0
+	out := make([]int, 0, 5)
+	seen := make(map[int]bool)
+	for _, b := range []float64{0, 4, 8, 12, 16} {
+		k := int(math.Round(b * s))
+		if !seen[k] {
+			out = append(out, k)
+			seen[k] = true
+		}
+	}
+	return out
+}
+
+// Fig5Band returns the band used in Figure 5 (2^14 <= d < 2^15 in the
+// paper, i.e. one octave below sqrt(NV)).
+func (c Config) Fig5Band() int {
+	return int(math.Round(c.SqrtNVLog2())) - 1
+}
+
+// Pipeline is a configured, reusable study runner.
+type Pipeline struct {
+	cfg  Config
+	pop  *radiation.Population
+	tel  *telescope.Telescope
+	farm *honeyfarm.Honeyfarm
+}
+
+// New validates the configuration and builds the population, telescope,
+// and honeyfarm.
+func New(cfg Config) (*Pipeline, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	pop, err := radiation.NewPopulation(cfg.Radiation)
+	if err != nil {
+		return nil, err
+	}
+	workers := cfg.Workers
+	tel := telescope.New(cfg.Radiation.Darkspace, cfg.AnonPassphrase,
+		telescope.WithLeafSize(cfg.LeafSize), telescope.WithWorkers(workers))
+	farm := honeyfarm.New(cfg.Sensors, cfg.Radiation.Seed+1)
+	return &Pipeline{cfg: cfg, pop: pop, tel: tel, farm: farm}, nil
+}
+
+// Config returns the pipeline configuration.
+func (p *Pipeline) Config() Config { return p.cfg }
+
+// Population exposes the generator (ground truth for validation).
+func (p *Pipeline) Population() *radiation.Population { return p.pop }
+
+// Result bundles everything a study produces.
+type Result struct {
+	Config  Config
+	Study   correlate.Study
+	Windows []*telescope.Window // one anonymized window per snapshot
+	Farm    *honeyfarm.Honeyfarm
+}
+
+// Run executes the full study: 15 honeyfarm months, then one telescope
+// window per configured snapshot time, reduced to D4M source tables.
+func (p *Pipeline) Run() (*Result, error) {
+	res := &Result{Config: p.cfg, Farm: p.farm}
+
+	for m := 0; m < p.cfg.Radiation.Months; m++ {
+		start := p.cfg.StudyStart.AddDate(0, m, 0)
+		label := start.Format("2006-01")
+		mw := p.farm.Month(label)
+		if mw == nil {
+			mw = p.farm.IngestMonth(label, start, p.pop.HoneyfarmMonth(m, start))
+		}
+		res.Study.Months = append(res.Study.Months, correlate.MonthData{
+			Label: label, Month: m, Table: mw.Table,
+		})
+	}
+
+	for _, ts := range p.cfg.SnapshotTimes {
+		monthFrac := p.cfg.monthOf(ts)
+		stream := p.pop.TelescopeStream(monthFrac, ts)
+		w, err := p.tel.CaptureWindow(stream, p.cfg.NV)
+		if err != nil {
+			return nil, fmt.Errorf("core: snapshot %v: %w", ts, err)
+		}
+		if w.NV < p.cfg.NV {
+			return nil, fmt.Errorf("core: snapshot %v: stream exhausted at %d of %d packets (population too small for NV)",
+				ts, w.NV, p.cfg.NV)
+		}
+		res.Windows = append(res.Windows, w)
+		res.Study.Snapshots = append(res.Study.Snapshots, correlate.Snapshot{
+			Label:   ts.Format("20060102-150405"),
+			Month:   monthFrac,
+			NV:      p.cfg.NV,
+			Sources: p.tel.SourceTable(w),
+		})
+	}
+	return res, nil
+}
+
+// TableIRow is one line of the paper's Table I dataset inventory.
+type TableIRow struct {
+	GNStart   string
+	GNDays    int
+	GNSources int
+	// CAIDA columns are empty except for snapshot months.
+	CAIDAStart    string
+	CAIDADuration string
+	CAIDAPackets  int
+	CAIDASources  int
+}
+
+// TableI reproduces the dataset inventory: one row per honeyfarm month,
+// with telescope columns filled on snapshot months.
+func (r *Result) TableI() []TableIRow {
+	rows := make([]TableIRow, len(r.Study.Months))
+	for i, m := range r.Study.Months {
+		start := r.Config.StudyStart.AddDate(0, m.Month, 0)
+		end := start.AddDate(0, 1, 0)
+		rows[i] = TableIRow{
+			GNStart:   start.Format("2006-01-02"),
+			GNDays:    int(end.Sub(start).Hours() / 24),
+			GNSources: m.Table.NRows(),
+		}
+	}
+	for si, snap := range r.Study.Snapshots {
+		mi := int(math.Floor(snap.Month))
+		if mi < 0 || mi >= len(rows) {
+			continue
+		}
+		w := r.Windows[si]
+		rows[mi].CAIDAStart = snap.Label
+		rows[mi].CAIDADuration = fmt.Sprintf("%.0f sec", w.Duration().Seconds())
+		rows[mi].CAIDAPackets = w.NV
+		rows[mi].CAIDASources = w.Matrix.NRows()
+	}
+	return rows
+}
+
+// TableII computes the network quantities of each snapshot's anonymized
+// matrix.
+func (r *Result) TableII() []netquant.Quantities {
+	out := make([]netquant.Quantities, len(r.Windows))
+	for i, w := range r.Windows {
+		out[i] = netquant.Compute(w.Matrix)
+	}
+	return out
+}
+
+// Fig3Series is one snapshot's degree distribution with its
+// Zipf-Mandelbrot fit.
+type Fig3Series struct {
+	Label    string
+	Binned   *stats.Binned
+	Alpha    float64 // fitted ZM exponent
+	Delta    float64 // fitted ZM offset
+	Residual float64
+}
+
+// Fig3 computes the source-packet degree distribution and ZM fit for
+// every snapshot (the paper's Figure 3).
+func (r *Result) Fig3() []Fig3Series {
+	out := make([]Fig3Series, len(r.Windows))
+	for i, w := range r.Windows {
+		b := netquant.SourcePacketDistribution(w.Matrix)
+		a, d, res := stats.FitZipfMandelbrot(b, float64(r.Config.NV))
+		out[i] = Fig3Series{
+			Label:  r.Study.Snapshots[i].Label,
+			Binned: b,
+			Alpha:  a, Delta: d, Residual: res,
+		}
+	}
+	return out
+}
+
+// Fig4Series is one snapshot's peak-correlation curve with the paper's
+// logarithmic model.
+type Fig4Series struct {
+	Label  string
+	Points []correlate.BandFraction
+	Model  []float64 // PeakModel evaluated at each point's band edge
+}
+
+// Fig4 computes the same-month correlation by brightness for every
+// snapshot.
+func (r *Result) Fig4() ([]Fig4Series, error) {
+	out := make([]Fig4Series, 0, len(r.Study.Snapshots))
+	for _, snap := range r.Study.Snapshots {
+		month, err := correlate.SameMonth(snap, r.Study.Months)
+		if err != nil {
+			return nil, err
+		}
+		pts := correlate.PeakCorrelation(snap, month)
+		model := make([]float64, len(pts))
+		for i, p := range pts {
+			model[i] = correlate.PeakModel(p.D, snap.NV)
+		}
+		out = append(out, Fig4Series{Label: snap.Label, Points: pts, Model: model})
+	}
+	return out, nil
+}
+
+// Fig5 computes the temporal correlation of the first snapshot's
+// Fig5Band sources with all three model fits (the paper's Figure 5).
+func (r *Result) Fig5() (correlate.Series, map[string]stats.TemporalFit, error) {
+	if len(r.Study.Snapshots) == 0 {
+		return correlate.Series{}, nil, fmt.Errorf("core: no snapshots")
+	}
+	series, err := correlate.TemporalCorrelation(r.Study.Snapshots[0], r.Study.Months, r.Config.Fig5Band())
+	if err != nil {
+		return correlate.Series{}, nil, err
+	}
+	return series, series.FitAll(), nil
+}
+
+// Fig6 computes the temporal correlation curves for every snapshot and
+// every Fig6 band, with modified-Cauchy fits. Bands a snapshot lacks are
+// skipped.
+func (r *Result) Fig6() ([]correlate.Series, []stats.TemporalFit) {
+	var all []correlate.Series
+	var fits []stats.TemporalFit
+	for _, snap := range r.Study.Snapshots {
+		for _, band := range r.Config.Fig6Bands() {
+			s, err := correlate.TemporalCorrelation(snap, r.Study.Months, band)
+			if err != nil {
+				continue
+			}
+			all = append(all, s)
+			fits = append(fits, s.Fit())
+		}
+	}
+	return all, fits
+}
+
+// Fig7And8 computes the per-band modified-Cauchy parameter sweeps for
+// every snapshot: Alpha per band (Figure 7) and one-month drop 1/(β+1)
+// per band (Figure 8).
+func (r *Result) Fig7And8() [][]correlate.BandFit {
+	out := make([][]correlate.BandFit, len(r.Study.Snapshots))
+	for i, snap := range r.Study.Snapshots {
+		out[i] = correlate.FitSweep(snap, r.Study.Months, r.Config.MinBandSources)
+	}
+	return out
+}

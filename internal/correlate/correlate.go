@@ -1,0 +1,223 @@
+// Package correlate implements the paper's primary contribution: the
+// spatial and temporal correlation of sources seen by an Internet
+// observatory (darkspace telescope) and an outpost (honeyfarm).
+//
+// Inputs are D4M associative arrays: a telescope snapshot's source table
+// (rows: source IP, column "packets") and the honeyfarm's monthly tables
+// (rows: source IP). All measurements are fractions of telescope sources
+// found in honeyfarm tables, sliced by source brightness band
+// [2^i, 2^(i+1)) and by month offset.
+package correlate
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/assoc"
+	"repro/internal/stats"
+)
+
+// Snapshot is one telescope constant-packet sample reduced to a source
+// table.
+type Snapshot struct {
+	Label   string  // e.g. "20200617-120000"
+	Month   float64 // fractional month index within the study period
+	NV      int     // window size in valid packets
+	Sources *assoc.Assoc
+}
+
+// MonthData is one honeyfarm month.
+type MonthData struct {
+	Label string // e.g. "2020-06"
+	Month int    // month index within the study period
+	Table *assoc.Assoc
+}
+
+// Study holds everything the correlation analysis needs.
+type Study struct {
+	Snapshots []Snapshot
+	Months    []MonthData
+}
+
+// bandOf extracts the snapshot's sources grouped into brightness bands.
+func bandOf(snap Snapshot) map[int][]string {
+	bands := make(map[int][]string)
+	for _, row := range snap.Sources.RowKeys() {
+		v, ok := snap.Sources.Get(row, "packets")
+		if !ok || !v.Numeric {
+			continue
+		}
+		b := stats.BandIndex(v.Num)
+		if b < 0 {
+			continue
+		}
+		bands[b] = append(bands[b], row)
+	}
+	return bands
+}
+
+// BandFraction is one point of the Figure 4 curve: of the telescope
+// sources with d in [2^Band, 2^(Band+1)), the fraction present in the
+// honeyfarm table.
+type BandFraction struct {
+	Band     int
+	D        float64 // band lower edge 2^Band
+	Sources  int     // telescope sources in the band
+	Matched  int     // of those, sources in the honeyfarm table
+	Fraction float64 // Matched / Sources
+	CILo     float64 // 95% Wilson interval low edge
+	CIHi     float64 // 95% Wilson interval high edge
+}
+
+// PeakCorrelation computes the same-month correlation by brightness band
+// (Figure 4). Bands with no sources are omitted.
+func PeakCorrelation(snap Snapshot, month MonthData) []BandFraction {
+	bands := bandOf(snap)
+	out := make([]BandFraction, 0, len(bands))
+	for b, rows := range bands {
+		matched := 0
+		for _, r := range rows {
+			if month.Table.HasRow(r) {
+				matched++
+			}
+		}
+		lo, hi := stats.Wilson95(matched, len(rows))
+		out = append(out, BandFraction{
+			Band:     b,
+			D:        stats.BandLow(b),
+			Sources:  len(rows),
+			Matched:  matched,
+			Fraction: float64(matched) / float64(len(rows)),
+			CILo:     lo,
+			CIHi:     hi,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Band < out[j].Band })
+	return out
+}
+
+// PeakModel is the paper's empirical Figure 4 law:
+// min(1, log2(d) / log2(sqrt(NV))).
+func PeakModel(d float64, nv int) float64 {
+	if d < 2 {
+		d = 2
+	}
+	v := math.Log2(d) / math.Log2(math.Sqrt(float64(nv)))
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// Series is one temporal-correlation curve (Figures 5 and 6): the
+// fraction of a snapshot's band-d sources found in each honeyfarm month.
+type Series struct {
+	Snapshot string
+	Band     int
+	Sources  int       // telescope sources in the band
+	Labels   []string  // month labels
+	Dt       []float64 // month - snapshot month
+	Fraction []float64
+}
+
+// TemporalCorrelation computes the Figure 5/6 curve for one snapshot and
+// one brightness band across all honeyfarm months. The returned series
+// has one point per month, in month order. Returns an error if the band
+// holds no sources.
+func TemporalCorrelation(snap Snapshot, months []MonthData, band int) (Series, error) {
+	rows := bandOf(snap)[band]
+	if len(rows) == 0 {
+		return Series{}, fmt.Errorf("correlate: snapshot %s has no sources in band 2^%d", snap.Label, band)
+	}
+	s := Series{
+		Snapshot: snap.Label,
+		Band:     band,
+		Sources:  len(rows),
+		Labels:   make([]string, len(months)),
+		Dt:       make([]float64, len(months)),
+		Fraction: make([]float64, len(months)),
+	}
+	for i, m := range months {
+		matched := 0
+		for _, r := range rows {
+			if m.Table.HasRow(r) {
+				matched++
+			}
+		}
+		s.Labels[i] = m.Label
+		s.Dt[i] = float64(m.Month) - snap.Month
+		s.Fraction[i] = float64(matched) / float64(len(rows))
+	}
+	return s, nil
+}
+
+// Fit fits the modified Cauchy model to the series using the paper's
+// peak-normalized ‖·‖½ procedure.
+func (s Series) Fit() stats.TemporalFit {
+	return stats.FitModifiedCauchy(s.Dt, s.Fraction)
+}
+
+// FitAll fits all three model families (Figure 5's comparison).
+func (s Series) FitAll() map[string]stats.TemporalFit {
+	return stats.FitAllTemporal(s.Dt, s.Fraction)
+}
+
+// BandFit is one point of Figures 7 and 8: the fitted modified-Cauchy
+// parameters for one snapshot and band.
+type BandFit struct {
+	Snapshot string
+	Band     int
+	D        float64 // band lower edge
+	Sources  int
+	Alpha    float64
+	Beta     float64
+	Drop     float64 // 1/(β+1), the one-month drop (Figure 8)
+	Residual float64
+}
+
+// FitSweep computes the modified-Cauchy fit for every band of the
+// snapshot that holds at least minSources sources, in ascending band
+// order (Figures 7 and 8's per-degree parameter curves).
+func FitSweep(snap Snapshot, months []MonthData, minSources int) []BandFit {
+	bands := bandOf(snap)
+	var keys []int
+	for b, rows := range bands {
+		if len(rows) >= minSources {
+			keys = append(keys, b)
+		}
+	}
+	sort.Ints(keys)
+	out := make([]BandFit, 0, len(keys))
+	for _, b := range keys {
+		series, err := TemporalCorrelation(snap, months, b)
+		if err != nil {
+			continue
+		}
+		fit := series.Fit()
+		mc := fit.Model.(stats.ModifiedCauchy)
+		out = append(out, BandFit{
+			Snapshot: snap.Label,
+			Band:     b,
+			D:        stats.BandLow(b),
+			Sources:  series.Sources,
+			Alpha:    mc.Alpha,
+			Beta:     mc.Beta,
+			Drop:     mc.OneMonthDrop(),
+			Residual: fit.Residual,
+		})
+	}
+	return out
+}
+
+// SameMonth returns the honeyfarm month coeval with the snapshot, or an
+// error when absent.
+func SameMonth(snap Snapshot, months []MonthData) (MonthData, error) {
+	idx := int(math.Floor(snap.Month))
+	for _, m := range months {
+		if m.Month == idx {
+			return m, nil
+		}
+	}
+	return MonthData{}, fmt.Errorf("correlate: no honeyfarm month %d for snapshot %s", idx, snap.Label)
+}

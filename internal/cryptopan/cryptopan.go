@@ -1,0 +1,104 @@
+// Package cryptopan implements prefix-preserving IP address anonymization
+// following the Crypto-PAn construction of Fan, Xu, Ammar and Moon
+// ("Prefix-preserving IP address anonymization", Computer Networks 2004),
+// the scheme the CAIDA Telescope uses before archiving traffic matrices.
+//
+// Prefix preservation means that for any two addresses a and b, the
+// anonymized addresses share exactly as many leading bits as a and b do.
+// The traffic-matrix quantities of the paper's Table II are invariant
+// under this (it is a permutation of the address space), which the test
+// suite verifies by property.
+package cryptopan
+
+import (
+	"crypto/aes"
+	"crypto/sha256"
+	"fmt"
+
+	"repro/internal/ipaddr"
+)
+
+// KeySize is the required key length in bytes: 16 bytes of AES key
+// followed by 16 bytes of pad-generation secret.
+const KeySize = 32
+
+// Anonymizer applies the Crypto-PAn transform. It is safe for concurrent
+// use once constructed; the AES block cipher is stateless.
+type Anonymizer struct {
+	cipher interface {
+		Encrypt(dst, src []byte)
+	}
+	pad [16]byte
+}
+
+// New creates an Anonymizer from a 32-byte key. The first 16 bytes key
+// the AES cipher; the last 16 bytes are encrypted once to form the
+// canonical padding block, as in the reference implementation.
+func New(key []byte) (*Anonymizer, error) {
+	if len(key) != KeySize {
+		return nil, fmt.Errorf("cryptopan: key must be %d bytes, got %d", KeySize, len(key))
+	}
+	c, err := aes.NewCipher(key[:16])
+	if err != nil {
+		return nil, err
+	}
+	a := &Anonymizer{cipher: c}
+	c.Encrypt(a.pad[:], key[16:32])
+	return a, nil
+}
+
+// NewFromPassphrase derives a key from an arbitrary passphrase via
+// SHA-256 and constructs an Anonymizer. Convenient for tools and tests.
+func NewFromPassphrase(phrase string) *Anonymizer {
+	sum := sha256.Sum256([]byte(phrase))
+	a, err := New(sum[:])
+	if err != nil {
+		// Cannot happen: the key is exactly 32 bytes.
+		panic(err)
+	}
+	return a
+}
+
+// Anonymize maps an address to its prefix-preserving anonymized form.
+//
+// For each bit position i (most significant first), the output bit is the
+// input bit XORed with a pseudorandom function of the first i input bits.
+// This makes the mapping a bijection on the address space in which common
+// prefixes are preserved exactly.
+func (a *Anonymizer) Anonymize(addr ipaddr.Addr) ipaddr.Addr {
+	orig := uint32(addr)
+	var result uint32
+	var block [16]byte
+	var out [16]byte
+	for i := 0; i < 32; i++ {
+		// First i bits of the original address, rest from the pad.
+		var prefix uint32
+		if i > 0 {
+			mask := ^uint32(0) << (32 - uint(i))
+			padTop := uint32(a.pad[0])<<24 | uint32(a.pad[1])<<16 |
+				uint32(a.pad[2])<<8 | uint32(a.pad[3])
+			prefix = orig&mask | padTop&^mask
+		} else {
+			prefix = uint32(a.pad[0])<<24 | uint32(a.pad[1])<<16 |
+				uint32(a.pad[2])<<8 | uint32(a.pad[3])
+		}
+		block[0] = byte(prefix >> 24)
+		block[1] = byte(prefix >> 16)
+		block[2] = byte(prefix >> 8)
+		block[3] = byte(prefix)
+		copy(block[4:], a.pad[4:])
+		a.cipher.Encrypt(out[:], block[:])
+		// Most significant bit of the cipher output is the flip bit.
+		flip := uint32(out[0] >> 7)
+		result |= flip << (31 - uint(i))
+	}
+	return ipaddr.Addr(orig ^ result)
+}
+
+// AnonymizeAll maps a slice of addresses in place and returns it.
+func (a *Anonymizer) AnonymizeAll(addrs []ipaddr.Addr) []ipaddr.Addr {
+	for i, v := range addrs {
+		addrs[i] = a.Anonymize(v)
+	}
+	return addrs
+}

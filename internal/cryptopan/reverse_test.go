@@ -1,0 +1,46 @@
+package cryptopan
+
+import (
+	"testing"
+
+	"repro/internal/ipaddr"
+)
+
+func TestReverseInvertsCache(t *testing.T) {
+	c := NewCached(NewFromPassphrase("reverse"))
+	inputs := []ipaddr.Addr{1, 2, 3, 1 << 20, 1<<32 - 1}
+	for _, in := range inputs {
+		c.Anonymize(in)
+	}
+	rev := c.Reverse()
+	if len(rev) != len(inputs) {
+		t.Fatalf("reverse table has %d entries, want %d", len(rev), len(inputs))
+	}
+	for _, in := range inputs {
+		anon := c.Anonymize(in)
+		if rev[anon] != in {
+			t.Errorf("Reverse[%v] = %v, want %v", anon, rev[anon], in)
+		}
+	}
+}
+
+func TestReverseSnapshotSemantics(t *testing.T) {
+	c := NewCached(NewFromPassphrase("snapshot"))
+	c.Anonymize(1)
+	rev := c.Reverse()
+	c.Anonymize(2) // grows cache after snapshot
+	if len(rev) != 1 {
+		t.Error("Reverse must be a snapshot, not a live view")
+	}
+	rev2 := c.Reverse()
+	if len(rev2) != 2 {
+		t.Errorf("fresh Reverse has %d entries, want 2", len(rev2))
+	}
+}
+
+func TestReverseEmpty(t *testing.T) {
+	c := NewCached(NewFromPassphrase("empty"))
+	if len(c.Reverse()) != 0 {
+		t.Error("empty cache reverse not empty")
+	}
+}

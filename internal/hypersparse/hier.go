@@ -1,0 +1,129 @@
+package hypersparse
+
+import (
+	"runtime"
+	"sync"
+)
+
+// hier.go implements the hierarchical summation of leaf matrices into a
+// window matrix. The paper's pipeline aggregates NV = 2^17 valid packets
+// into each leaf GraphBLAS matrix and hierarchically sums 2^13 of them to
+// form an NV = 2^30 window; the same structure here yields log-depth
+// merges and near-linear parallel speedup.
+
+// HierSum sums the given matrices with a parallel binary merge tree and
+// returns the total. nil entries are treated as empty. workers <= 0 uses
+// GOMAXPROCS.
+func HierSum(leaves []*Matrix, workers int) *Matrix {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	cur := make([]*Matrix, 0, len(leaves))
+	for _, l := range leaves {
+		if l != nil && l.NNZ() > 0 {
+			cur = append(cur, l)
+		}
+	}
+	if len(cur) == 0 {
+		return &Matrix{}
+	}
+	for len(cur) > 1 {
+		next := make([]*Matrix, (len(cur)+1)/2)
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, workers)
+		for i := 0; i < len(cur); i += 2 {
+			if i+1 == len(cur) {
+				next[i/2] = cur[i]
+				continue
+			}
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(dst int, a, b *Matrix) {
+				defer wg.Done()
+				next[dst] = Add(a, b)
+				<-sem
+			}(i/2, cur[i], cur[i+1])
+		}
+		wg.Wait()
+		cur = next
+	}
+	return cur[0]
+}
+
+// Accumulator ingests a stream of (row, col, value) triples, compiles a
+// leaf Matrix every leafSize triples, and hierarchically sums leaves into
+// the final window matrix on Finish. This mirrors the telescope's
+// streaming build: packets arrive one at a time, leaves are cut at fixed
+// valid-packet counts.
+type Accumulator struct {
+	leafSize int
+	workers  int
+	builder  *Builder
+	inLeaf   int
+	leaves   []*Matrix
+}
+
+// NewAccumulator returns an Accumulator cutting leaves every leafSize
+// triples (the paper's leaf NV is 2^17). leafSize must be positive.
+func NewAccumulator(leafSize, workers int) *Accumulator {
+	if leafSize <= 0 {
+		panic("hypersparse: leafSize must be positive")
+	}
+	return &Accumulator{
+		leafSize: leafSize,
+		workers:  workers,
+		builder:  NewBuilder(leafSize),
+	}
+}
+
+// Add ingests one triple.
+func (a *Accumulator) Add(row, col uint32, v float64) {
+	a.builder.Add(row, col, v)
+	a.inLeaf++
+	if a.inLeaf >= a.leafSize {
+		a.cut()
+	}
+}
+
+func (a *Accumulator) cut() {
+	if a.inLeaf == 0 {
+		return
+	}
+	a.leaves = append(a.leaves, a.builder.Build())
+	a.inLeaf = 0
+}
+
+// Leaves reports how many leaf matrices have been cut so far.
+func (a *Accumulator) Leaves() int { return len(a.leaves) }
+
+// Finish cuts any partial leaf and returns the hierarchical sum. The
+// accumulator is reset and reusable afterwards.
+func (a *Accumulator) Finish() *Matrix {
+	a.cut()
+	m := HierSum(a.leaves, a.workers)
+	a.leaves = nil
+	return m
+}
+
+// FlatSum is the non-hierarchical baseline: it accumulates every entry of
+// every leaf into a single builder. Used by the A1 ablation bench to
+// quantify what the merge tree buys.
+func FlatSum(leaves []*Matrix) *Matrix {
+	n := 0
+	for _, l := range leaves {
+		if l != nil {
+			n += l.NNZ()
+		}
+	}
+	b := NewBuilder(n)
+	for _, l := range leaves {
+		if l == nil {
+			continue
+		}
+		l.Iterate(func(e Entry) bool {
+			b.Add(e.Row, e.Col, e.Val)
+			return true
+		})
+	}
+	return b.Build()
+}

@@ -1,0 +1,150 @@
+package hypersparse
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHierSumMatchesFlat(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nLeaves := 1 + rng.Intn(9)
+		leaves := make([]*Matrix, nLeaves)
+		for i := range leaves {
+			leaves[i] = FromEntries(randomEntries(rng, 200, 50, 50))
+		}
+		return Equal(HierSum(leaves, 4), FlatSum(leaves))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHierSumEdgeCases(t *testing.T) {
+	if HierSum(nil, 1).NNZ() != 0 {
+		t.Error("HierSum(nil) not empty")
+	}
+	if HierSum([]*Matrix{nil, {}, nil}, 1).NNZ() != 0 {
+		t.Error("HierSum of nils/empties not empty")
+	}
+	m := FromEntries([]Entry{{1, 1, 1}})
+	if !Equal(HierSum([]*Matrix{m}, 1), m) {
+		t.Error("single-leaf HierSum changed the matrix")
+	}
+}
+
+func TestHierSumOddLeafCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	leaves := make([]*Matrix, 7)
+	for i := range leaves {
+		leaves[i] = FromEntries(randomEntries(rng, 100, 30, 30))
+	}
+	if !Equal(HierSum(leaves, 3), FlatSum(leaves)) {
+		t.Error("odd leaf count mis-merged")
+	}
+}
+
+func TestHierSumWorkerCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	leaves := make([]*Matrix, 16)
+	for i := range leaves {
+		leaves[i] = FromEntries(randomEntries(rng, 300, 64, 64))
+	}
+	want := FlatSum(leaves)
+	for _, w := range []int{-1, 0, 1, 2, 8, 64} {
+		if !Equal(HierSum(leaves, w), want) {
+			t.Errorf("workers=%d produced a different sum", w)
+		}
+	}
+}
+
+func TestAccumulatorPreservesTotal(t *testing.T) {
+	// NV conservation: sum of the window matrix equals triples ingested.
+	acc := NewAccumulator(64, 2)
+	rng := rand.New(rand.NewSource(23))
+	const n = 1000
+	for i := 0; i < n; i++ {
+		acc.Add(rng.Uint32()%100, rng.Uint32()%100, 1)
+	}
+	if acc.Leaves() != n/64 {
+		t.Errorf("Leaves() = %d, want %d full leaves", acc.Leaves(), n/64)
+	}
+	m := acc.Finish()
+	if m.Sum() != n {
+		t.Errorf("window sum = %g, want %d", m.Sum(), n)
+	}
+}
+
+func TestAccumulatorMatchesDirectBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	es := randomEntries(rng, 2000, 80, 80)
+	acc := NewAccumulator(97, 4) // deliberately non-divisor leaf size
+	b := NewBuilder(0)
+	for _, e := range es {
+		acc.Add(e.Row, e.Col, e.Val)
+		b.Add(e.Row, e.Col, e.Val)
+	}
+	if !Equal(acc.Finish(), b.Build()) {
+		t.Error("accumulator result differs from direct build")
+	}
+}
+
+func TestAccumulatorReusableAfterFinish(t *testing.T) {
+	acc := NewAccumulator(10, 1)
+	acc.Add(1, 1, 1)
+	first := acc.Finish()
+	acc.Add(2, 2, 2)
+	second := acc.Finish()
+	if first.Sum() != 1 || second.Sum() != 2 {
+		t.Error("accumulator state leaked across Finish")
+	}
+	if second.At(1, 1) != 0 {
+		t.Error("second window contains first window's traffic")
+	}
+}
+
+func TestAccumulatorPanicsOnBadLeafSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewAccumulator(0) did not panic")
+		}
+	}()
+	NewAccumulator(0, 1)
+}
+
+func BenchmarkHierSum16Leaves(b *testing.B) {
+	rng := rand.New(rand.NewSource(30))
+	leaves := make([]*Matrix, 16)
+	for i := range leaves {
+		leaves[i] = FromEntries(randomEntries(rng, 1<<14, 1<<16, 1<<16))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		HierSum(leaves, 0)
+	}
+}
+
+func BenchmarkFlatSum16Leaves(b *testing.B) {
+	rng := rand.New(rand.NewSource(30))
+	leaves := make([]*Matrix, 16)
+	for i := range leaves {
+		leaves[i] = FromEntries(randomEntries(rng, 1<<14, 1<<16, 1<<16))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FlatSum(leaves)
+	}
+}
+
+func BenchmarkBuilderAdd(b *testing.B) {
+	bld := NewBuilder(b.N)
+	rng := rand.New(rand.NewSource(31))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bld.Add(rng.Uint32()%(1<<20), rng.Uint32()%(1<<20), 1)
+	}
+}

@@ -1,0 +1,178 @@
+package hypersparse
+
+// io.go provides a compact binary serialization of matrices, the
+// interchange format the archive layer stores on disk (the paper's
+// pipeline archives anonymized GraphBLAS matrices of 2^17-packet leaves
+// and hierarchically sums them into analysis windows).
+//
+// Format (little endian):
+//
+//	magic   4 bytes 'G','B','M','1'
+//	nrows   uint64
+//	nnz     uint64
+//	rows    nrows * uint32
+//	rowPtr  (nrows+1) * int64   (omitted when nrows == 0)
+//	cols    nnz * uint32
+//	vals    nnz * float64
+//	crc32   uint32 (IEEE, over the payload between magic and crc)
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+var gbmMagic = [4]byte{'G', 'B', 'M', '1'}
+
+// Errors returned by ReadMatrix.
+var (
+	ErrBadFormat    = errors.New("hypersparse: not a GBM1 matrix stream")
+	ErrCorrupt      = errors.New("hypersparse: matrix stream corrupt")
+	ErrInconsistent = errors.New("hypersparse: matrix stream structurally inconsistent")
+)
+
+// payloadCRC hashes the payload arrays exactly as they are serialized.
+func payloadCRC(m *Matrix) uint32 {
+	crc := crc32.NewIEEE()
+	bw := bufio.NewWriterSize(crc, 1<<16)
+	writePayload(bw, m)
+	bw.Flush()
+	return crc.Sum32()
+}
+
+func writePayload(w io.Writer, m *Matrix) error {
+	// An empty matrix may carry either a nil or a single-element [0]
+	// rowPtr depending on how it was built; serialize both as empty so
+	// the wire form is canonical.
+	rowPtr := m.rowPtr
+	if len(m.rows) == 0 {
+		rowPtr = nil
+	}
+	for _, v := range []any{
+		uint64(len(m.rows)), uint64(len(m.cols)),
+		m.rows, rowPtr, m.cols, m.vals,
+	} {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteTo serializes the matrix; it implements io.WriterTo.
+func (m *Matrix) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	bw := bufio.NewWriterSize(cw, 1<<16)
+	if _, err := bw.Write(gbmMagic[:]); err != nil {
+		return cw.n, err
+	}
+	if err := writePayload(bw, m); err != nil {
+		return cw.n, err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, payloadCRC(m)); err != nil {
+		return cw.n, err
+	}
+	err := bw.Flush()
+	return cw.n, err
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// ReadMatrix deserializes a matrix written by WriteTo, validating both
+// the checksum and the DCSR structural invariants.
+func ReadMatrix(r io.Reader) (*Matrix, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if magic != gbmMagic {
+		return nil, ErrBadFormat
+	}
+	read := func(v any) error { return binary.Read(br, binary.LittleEndian, v) }
+	var nrows, nnz uint64
+	if err := read(&nrows); err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrCorrupt, err)
+	}
+	if err := read(&nnz); err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrCorrupt, err)
+	}
+	// Refuse absurd allocations from corrupted headers; a matrix cannot
+	// have more occupied rows than entries.
+	const maxEntries = 1 << 33
+	if nrows > maxEntries || nnz > maxEntries || nrows > nnz {
+		if !(nrows == 0 && nnz == 0) {
+			return nil, ErrInconsistent
+		}
+	}
+	m := &Matrix{}
+	if nrows > 0 {
+		m.rows = make([]uint32, nrows)
+		m.rowPtr = make([]int64, nrows+1)
+		m.cols = make([]uint32, nnz)
+		m.vals = make([]float64, nnz)
+		for _, v := range []any{m.rows, m.rowPtr, m.cols, m.vals} {
+			if err := read(v); err != nil {
+				return nil, fmt.Errorf("%w: body: %v", ErrCorrupt, err)
+			}
+		}
+	}
+	var stored uint32
+	if err := read(&stored); err != nil {
+		return nil, fmt.Errorf("%w: checksum: %v", ErrCorrupt, err)
+	}
+	if err := m.validate(); err != nil {
+		return nil, err
+	}
+	if payloadCRC(m) != stored {
+		return nil, ErrCorrupt
+	}
+	return m, nil
+}
+
+// validate checks the DCSR structural invariants of a deserialized
+// matrix: sorted distinct rows, monotone rowPtr bracketing the column
+// array, and per-row sorted distinct columns.
+func (m *Matrix) validate() error {
+	if len(m.rows) == 0 {
+		if len(m.cols) != 0 || len(m.vals) != 0 {
+			return ErrInconsistent
+		}
+		return nil
+	}
+	if len(m.rowPtr) != len(m.rows)+1 {
+		return ErrInconsistent
+	}
+	if m.rowPtr[0] != 0 || m.rowPtr[len(m.rows)] != int64(len(m.cols)) {
+		return ErrInconsistent
+	}
+	for i := 1; i < len(m.rows); i++ {
+		if m.rows[i-1] >= m.rows[i] {
+			return ErrInconsistent
+		}
+	}
+	for i := 0; i < len(m.rows); i++ {
+		lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+		if lo > hi || lo < 0 || hi > int64(len(m.cols)) {
+			return ErrInconsistent
+		}
+		for k := lo + 1; k < hi; k++ {
+			if m.cols[k-1] >= m.cols[k] {
+				return ErrInconsistent
+			}
+		}
+	}
+	return nil
+}

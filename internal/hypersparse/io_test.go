@@ -1,0 +1,168 @@
+package hypersparse
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatrixSerializationRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := FromEntries(randomEntries(rng, 500, 100, 100))
+		var buf bytes.Buffer
+		n, err := m.WriteTo(&buf)
+		if err != nil || n != int64(buf.Len()) {
+			return false
+		}
+		back, err := ReadMatrix(&buf)
+		if err != nil {
+			return false
+		}
+		return Equal(m, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptyMatrixRoundTrip(t *testing.T) {
+	for _, m := range []*Matrix{{}, NewBuilder(0).Build()} {
+		var buf bytes.Buffer
+		if _, err := m.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadMatrix(&buf)
+		if err != nil {
+			t.Fatalf("empty matrix round trip: %v", err)
+		}
+		if back.NNZ() != 0 || back.NRows() != 0 {
+			t.Error("empty matrix came back non-empty")
+		}
+	}
+}
+
+func TestReadMatrixBadMagic(t *testing.T) {
+	if _, err := ReadMatrix(bytes.NewReader([]byte("XXXX"))); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("bad magic error = %v", err)
+	}
+	if _, err := ReadMatrix(bytes.NewReader(nil)); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("empty stream error = %v", err)
+	}
+}
+
+func TestReadMatrixTruncated(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := FromEntries(randomEntries(rng, 200, 50, 50))
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{5, 20, len(full) / 2, len(full) - 1} {
+		if _, err := ReadMatrix(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestReadMatrixBitFlip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := FromEntries(randomEntries(rng, 300, 60, 60))
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Flip one bit in each region of the stream; every flip must be
+	// detected (checksum or structural validation).
+	detected := 0
+	trials := 0
+	for pos := 20; pos < len(full)-4; pos += len(full) / 17 {
+		corrupted := append([]byte(nil), full...)
+		corrupted[pos] ^= 0x10
+		trials++
+		if _, err := ReadMatrix(bytes.NewReader(corrupted)); err != nil {
+			detected++
+		}
+	}
+	if detected != trials {
+		t.Errorf("only %d/%d bit flips detected", detected, trials)
+	}
+}
+
+func TestReadMatrixRefusesAbsurdHeader(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(gbmMagic[:])
+	// nrows = 2^40, nnz = 2^40 — would allocate terabytes if trusted.
+	buf.Write([]byte{0, 0, 0, 0, 0, 1, 0, 0})
+	buf.Write([]byte{0, 0, 0, 0, 0, 1, 0, 0})
+	if _, err := ReadMatrix(&buf); !errors.Is(err, ErrInconsistent) {
+		t.Errorf("absurd header error = %v", err)
+	}
+}
+
+func TestValidateRejectsBrokenStructures(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	base := FromEntries(randomEntries(rng, 100, 30, 30))
+	breakers := []func(*Matrix){
+		func(m *Matrix) { m.rows[0], m.rows[1] = m.rows[1], m.rows[0] }, // unsorted rows
+		func(m *Matrix) { m.rowPtr[0] = 1 },                             // bad first offset
+		func(m *Matrix) { m.rowPtr[len(m.rowPtr)-1]-- },                 // bad last offset
+		func(m *Matrix) { // unsorted columns within a row with >= 2 entries
+			for i := 0; i < len(m.rows); i++ {
+				if m.rowPtr[i+1]-m.rowPtr[i] >= 2 {
+					k := m.rowPtr[i]
+					m.cols[k], m.cols[k+1] = m.cols[k+1], m.cols[k]
+					return
+				}
+			}
+		},
+	}
+	for i, br := range breakers {
+		var buf bytes.Buffer
+		if _, err := base.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		m, err := ReadMatrix(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		br(m)
+		if err := m.validate(); err == nil {
+			t.Errorf("breaker %d not caught by validate", i)
+		}
+	}
+}
+
+func BenchmarkMatrixWriteTo(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	m := FromEntries(randomEntries(rng, 1<<16, 1<<18, 1<<18))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if _, err := m.WriteTo(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMatrixRead(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	m := FromEntries(randomEntries(rng, 1<<16, 1<<18, 1<<18))
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadMatrix(bytes.NewReader(raw)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+// Package hypersparse implements GraphBLAS-style hypersparse traffic
+// matrices over a 2^32 x 2^32 index space, following the representation
+// the paper uses for CAIDA Telescope windows: uint32 row (source) and
+// column (destination) indices with floating-point packet counts.
+//
+// A matrix is "hypersparse" when the number of non-empty rows is far
+// smaller than the row dimension, so the doubly-compressed (DCSR) layout
+// stores only the sorted list of occupied rows. All quantities of the
+// paper's Table II are computed from this layout (see package netquant),
+// and all are invariant under row/column permutation, which is what makes
+// the pipeline safe to run on CryptoPAN-anonymized data.
+package hypersparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Entry is a single (row, col, value) triple: value packets from source
+// row to destination col.
+type Entry struct {
+	Row, Col uint32
+	Val      float64
+}
+
+// Matrix is an immutable doubly-compressed sparse row (DCSR) matrix.
+// The zero value is an empty matrix ready to use.
+type Matrix struct {
+	rows   []uint32  // sorted distinct non-empty row ids
+	rowPtr []int64   // len(rows)+1 offsets into cols/vals
+	cols   []uint32  // column ids, sorted within each row
+	vals   []float64 // parallel to cols
+}
+
+// NNZ returns the number of stored entries (the paper's "unique links"
+// when values are packet counts).
+func (m *Matrix) NNZ() int { return len(m.cols) }
+
+// NRows returns the number of non-empty rows (unique sources).
+func (m *Matrix) NRows() int { return len(m.rows) }
+
+// Sum returns the total of all values (the paper's NV, valid packets,
+// i.e. 1^T A 1).
+func (m *Matrix) Sum() float64 {
+	var s float64
+	for _, v := range m.vals {
+		s += v
+	}
+	return s
+}
+
+// At returns the stored value at (row, col), or 0 if absent.
+func (m *Matrix) At(row, col uint32) float64 {
+	ri := sort.Search(len(m.rows), func(i int) bool { return m.rows[i] >= row })
+	if ri == len(m.rows) || m.rows[ri] != row {
+		return 0
+	}
+	lo, hi := m.rowPtr[ri], m.rowPtr[ri+1]
+	cs := m.cols[lo:hi]
+	ci := sort.Search(len(cs), func(i int) bool { return cs[i] >= col })
+	if ci == len(cs) || cs[ci] != col {
+		return 0
+	}
+	return m.vals[lo+int64(ci)]
+}
+
+// Rows returns the sorted ids of non-empty rows. The returned slice is
+// owned by the matrix and must not be modified.
+func (m *Matrix) Rows() []uint32 { return m.rows }
+
+// Iterate calls fn for every stored entry in row-major order. Iteration
+// stops early if fn returns false.
+func (m *Matrix) Iterate(fn func(Entry) bool) {
+	for ri, row := range m.rows {
+		for k := m.rowPtr[ri]; k < m.rowPtr[ri+1]; k++ {
+			if !fn(Entry{Row: row, Col: m.cols[k], Val: m.vals[k]}) {
+				return
+			}
+		}
+	}
+}
+
+// Entries returns all stored entries in row-major order.
+func (m *Matrix) Entries() []Entry {
+	out := make([]Entry, 0, m.NNZ())
+	m.Iterate(func(e Entry) bool {
+		out = append(out, e)
+		return true
+	})
+	return out
+}
+
+// String summarizes the matrix shape for debugging.
+func (m *Matrix) String() string {
+	return fmt.Sprintf("hypersparse.Matrix{rows: %d, nnz: %d, sum: %g}",
+		m.NRows(), m.NNZ(), m.Sum())
+}
+
+// FromEntries builds a matrix from triples, summing duplicates. The input
+// slice is not retained.
+func FromEntries(entries []Entry) *Matrix {
+	b := NewBuilder(len(entries))
+	for _, e := range entries {
+		b.Add(e.Row, e.Col, e.Val)
+	}
+	return b.Build()
+}
+
+// Builder accumulates (row, col, value) triples with duplicate summing,
+// then compiles them into an immutable Matrix. It corresponds to the
+// GraphBLAS build-from-tuples step the paper's pipeline uses for each
+// 2^17-packet leaf window. Builders are not safe for concurrent use; the
+// hierarchical accumulator gives each goroutine its own.
+type Builder struct {
+	m map[uint64]float64
+}
+
+// NewBuilder returns a Builder with capacity hint n.
+func NewBuilder(n int) *Builder {
+	return &Builder{m: make(map[uint64]float64, n)}
+}
+
+func key(row, col uint32) uint64 { return uint64(row)<<32 | uint64(col) }
+
+// Add accumulates v at (row, col).
+func (b *Builder) Add(row, col uint32, v float64) {
+	b.m[key(row, col)] += v
+}
+
+// Len reports the number of distinct (row, col) pairs accumulated.
+func (b *Builder) Len() int { return len(b.m) }
+
+// Build compiles the accumulated triples into a Matrix and resets the
+// builder.
+func (b *Builder) Build() *Matrix {
+	keys := make([]uint64, 0, len(b.m))
+	for k := range b.m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+
+	m := &Matrix{
+		cols: make([]uint32, len(keys)),
+		vals: make([]float64, len(keys)),
+	}
+	var lastRow uint32
+	haveRow := false
+	for i, k := range keys {
+		row := uint32(k >> 32)
+		if !haveRow || row != lastRow {
+			m.rows = append(m.rows, row)
+			m.rowPtr = append(m.rowPtr, int64(i))
+			lastRow, haveRow = row, true
+		}
+		m.cols[i] = uint32(k)
+		m.vals[i] = b.m[k]
+	}
+	m.rowPtr = append(m.rowPtr, int64(len(keys)))
+	b.m = make(map[uint64]float64)
+	return m
+}

@@ -1,0 +1,207 @@
+package hypersparse
+
+// ops.go implements the GraphBLAS operations the paper's Table II
+// formulas need: reductions along each dimension in both the arithmetic
+// (+) and structural (zero-norm) semirings, elementwise addition for the
+// hierarchical accumulator, transpose, and index permutation.
+
+// Add returns the elementwise sum a + b. Both operands are unchanged.
+// The merge is linear in the total number of entries, which is what makes
+// the log-depth hierarchical summation of leaf matrices efficient.
+func Add(a, b *Matrix) *Matrix {
+	if a.NNZ() == 0 {
+		return b
+	}
+	if b.NNZ() == 0 {
+		return a
+	}
+	out := &Matrix{
+		rows:   make([]uint32, 0, len(a.rows)+len(b.rows)),
+		rowPtr: make([]int64, 0, len(a.rows)+len(b.rows)+1),
+		cols:   make([]uint32, 0, len(a.cols)+len(b.cols)),
+		vals:   make([]float64, 0, len(a.vals)+len(b.vals)),
+	}
+	ai, bi := 0, 0
+	for ai < len(a.rows) || bi < len(b.rows) {
+		switch {
+		case bi == len(b.rows) || (ai < len(a.rows) && a.rows[ai] < b.rows[bi]):
+			out.appendRow(a.rows[ai], a.cols[a.rowPtr[ai]:a.rowPtr[ai+1]], a.vals[a.rowPtr[ai]:a.rowPtr[ai+1]])
+			ai++
+		case ai == len(a.rows) || b.rows[bi] < a.rows[ai]:
+			out.appendRow(b.rows[bi], b.cols[b.rowPtr[bi]:b.rowPtr[bi+1]], b.vals[b.rowPtr[bi]:b.rowPtr[bi+1]])
+			bi++
+		default: // same row in both: merge columns
+			out.appendMergedRow(a.rows[ai],
+				a.cols[a.rowPtr[ai]:a.rowPtr[ai+1]], a.vals[a.rowPtr[ai]:a.rowPtr[ai+1]],
+				b.cols[b.rowPtr[bi]:b.rowPtr[bi+1]], b.vals[b.rowPtr[bi]:b.rowPtr[bi+1]])
+			ai++
+			bi++
+		}
+	}
+	out.rowPtr = append(out.rowPtr, int64(len(out.cols)))
+	return out
+}
+
+func (m *Matrix) appendRow(row uint32, cols []uint32, vals []float64) {
+	m.rows = append(m.rows, row)
+	m.rowPtr = append(m.rowPtr, int64(len(m.cols)))
+	m.cols = append(m.cols, cols...)
+	m.vals = append(m.vals, vals...)
+}
+
+func (m *Matrix) appendMergedRow(row uint32, ac []uint32, av []float64, bc []uint32, bv []float64) {
+	m.rows = append(m.rows, row)
+	m.rowPtr = append(m.rowPtr, int64(len(m.cols)))
+	i, j := 0, 0
+	for i < len(ac) || j < len(bc) {
+		switch {
+		case j == len(bc) || (i < len(ac) && ac[i] < bc[j]):
+			m.cols = append(m.cols, ac[i])
+			m.vals = append(m.vals, av[i])
+			i++
+		case i == len(ac) || bc[j] < ac[i]:
+			m.cols = append(m.cols, bc[j])
+			m.vals = append(m.vals, bv[j])
+			j++
+		default:
+			m.cols = append(m.cols, ac[i])
+			m.vals = append(m.vals, av[i]+bv[j])
+			i++
+			j++
+		}
+	}
+}
+
+// Pattern returns |A|0: every stored value replaced by 1. Combined with
+// the reductions below this yields the structural quantities of Table II
+// (unique links, fan-out, fan-in).
+func (m *Matrix) Pattern() *Matrix {
+	out := &Matrix{
+		rows:   m.rows,
+		rowPtr: m.rowPtr,
+		cols:   m.cols,
+		vals:   make([]float64, len(m.vals)),
+	}
+	for i := range out.vals {
+		out.vals[i] = 1
+	}
+	return out
+}
+
+// RowSums returns A·1: per-source packet counts ("source packets from i").
+func (m *Matrix) RowSums() *Vector {
+	ids := make([]uint32, len(m.rows))
+	vals := make([]float64, len(m.rows))
+	copy(ids, m.rows)
+	for ri := range m.rows {
+		var s float64
+		for k := m.rowPtr[ri]; k < m.rowPtr[ri+1]; k++ {
+			s += m.vals[k]
+		}
+		vals[ri] = s
+	}
+	return &Vector{ids: ids, vals: vals}
+}
+
+// RowDegrees returns |A|0·1: per-source unique destination counts
+// ("source fan-out from i").
+func (m *Matrix) RowDegrees() *Vector {
+	ids := make([]uint32, len(m.rows))
+	vals := make([]float64, len(m.rows))
+	copy(ids, m.rows)
+	for ri := range m.rows {
+		vals[ri] = float64(m.rowPtr[ri+1] - m.rowPtr[ri])
+	}
+	return &Vector{ids: ids, vals: vals}
+}
+
+// ColSums returns 1^T·A: per-destination packet counts ("destination
+// packets to j").
+func (m *Matrix) ColSums() *Vector {
+	acc := make(map[uint32]float64, len(m.rows))
+	for i, c := range m.cols {
+		acc[c] += m.vals[i]
+	}
+	return VectorFromMap(acc)
+}
+
+// ColDegrees returns 1^T·|A|0: per-destination unique source counts
+// ("destination fan-in to j").
+func (m *Matrix) ColDegrees() *Vector {
+	acc := make(map[uint32]float64, len(m.rows))
+	for _, c := range m.cols {
+		acc[c]++
+	}
+	return VectorFromMap(acc)
+}
+
+// MaxVal returns max(A), the paper's maximum link packets, or 0 when
+// empty.
+func (m *Matrix) MaxVal() float64 {
+	var mx float64
+	for _, v := range m.vals {
+		if v > mx {
+			mx = v
+		}
+	}
+	return mx
+}
+
+// Transpose returns A^T, swapping the source and destination roles.
+func (m *Matrix) Transpose() *Matrix {
+	b := NewBuilder(m.NNZ())
+	m.Iterate(func(e Entry) bool {
+		b.Add(e.Col, e.Row, e.Val)
+		return true
+	})
+	return b.Build()
+}
+
+// PermuteFunc relabels every index through fn, which must be injective on
+// the ids present (a permutation of the index space, e.g. a CryptoPAN
+// anonymizer). Row and column spaces are mapped with the same function,
+// matching anonymization of IP addresses.
+func (m *Matrix) PermuteFunc(fn func(uint32) uint32) *Matrix {
+	b := NewBuilder(m.NNZ())
+	m.Iterate(func(e Entry) bool {
+		b.Add(fn(e.Row), fn(e.Col), e.Val)
+		return true
+	})
+	return b.Build()
+}
+
+// Equal reports whether two matrices hold exactly the same entries.
+func Equal(a, b *Matrix) bool {
+	if a.NNZ() != b.NNZ() || a.NRows() != b.NRows() {
+		return false
+	}
+	for i := range a.rows {
+		if a.rows[i] != b.rows[i] || a.rowPtr[i] != b.rowPtr[i] {
+			return false
+		}
+	}
+	for i := range a.cols {
+		if a.cols[i] != b.cols[i] || a.vals[i] != b.vals[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SelectRows returns the submatrix containing only the rows for which
+// keep returns true (the D4M-style sub-referencing used to slice a
+// brightness band out of a window).
+func (m *Matrix) SelectRows(keep func(uint32) bool) *Matrix {
+	out := &Matrix{}
+	for ri, row := range m.rows {
+		if !keep(row) {
+			continue
+		}
+		out.appendRow(row, m.cols[m.rowPtr[ri]:m.rowPtr[ri+1]], m.vals[m.rowPtr[ri]:m.rowPtr[ri+1]])
+	}
+	out.rowPtr = append(out.rowPtr, int64(len(out.cols)))
+	if len(out.rows) == 0 {
+		return &Matrix{}
+	}
+	return out
+}

@@ -1,0 +1,171 @@
+// Package ipaddr provides IPv4 addresses represented as uint32 values,
+// CIDR prefixes, and subnet arithmetic.
+//
+// The observatory pipeline stores traffic matrices indexed by uint32
+// source and destination addresses (the paper's 2^32 x 2^32 hypersparse
+// matrices), so the entire code base works with this compact form and
+// converts to dotted-quad strings only at the D4M boundary.
+package ipaddr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Addr is an IPv4 address in host byte order: 1.2.3.4 == 0x01020304.
+type Addr uint32
+
+// Parse converts a dotted-quad string to an Addr.
+func Parse(s string) (Addr, error) {
+	var parts [4]uint32
+	rest := s
+	for i := 0; i < 4; i++ {
+		var tok string
+		if i < 3 {
+			dot := strings.IndexByte(rest, '.')
+			if dot < 0 {
+				return 0, fmt.Errorf("ipaddr: invalid address %q", s)
+			}
+			tok, rest = rest[:dot], rest[dot+1:]
+		} else {
+			tok = rest
+		}
+		v, err := strconv.ParseUint(tok, 10, 32)
+		if err != nil || v > 255 || tok == "" || (len(tok) > 1 && tok[0] == '0') {
+			return 0, fmt.Errorf("ipaddr: invalid octet %q in %q", tok, s)
+		}
+		parts[i] = uint32(v)
+	}
+	return Addr(parts[0]<<24 | parts[1]<<16 | parts[2]<<8 | parts[3]), nil
+}
+
+// MustParse is Parse that panics on error, for constants in tests and examples.
+func MustParse(s string) Addr {
+	a, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// String returns the dotted-quad representation.
+func (a Addr) String() string {
+	var b [15]byte
+	buf := strconv.AppendUint(b[:0], uint64(a>>24), 10)
+	buf = append(buf, '.')
+	buf = strconv.AppendUint(buf, uint64(a>>16&0xff), 10)
+	buf = append(buf, '.')
+	buf = strconv.AppendUint(buf, uint64(a>>8&0xff), 10)
+	buf = append(buf, '.')
+	buf = strconv.AppendUint(buf, uint64(a&0xff), 10)
+	return string(buf)
+}
+
+// Octets returns the four address bytes, most significant first.
+func (a Addr) Octets() [4]byte {
+	return [4]byte{byte(a >> 24), byte(a >> 16), byte(a >> 8), byte(a)}
+}
+
+// FromOctets assembles an Addr from four bytes, most significant first.
+func FromOctets(o [4]byte) Addr {
+	return Addr(uint32(o[0])<<24 | uint32(o[1])<<16 | uint32(o[2])<<8 | uint32(o[3]))
+}
+
+// Prefix is an IPv4 CIDR prefix such as 10.0.0.0/8.
+type Prefix struct {
+	Base Addr
+	Bits int // prefix length, 0..32
+}
+
+// ParsePrefix parses "a.b.c.d/len". The base address is masked to the
+// prefix length.
+func ParsePrefix(s string) (Prefix, error) {
+	slash := strings.IndexByte(s, '/')
+	if slash < 0 {
+		return Prefix{}, fmt.Errorf("ipaddr: missing '/' in prefix %q", s)
+	}
+	a, err := Parse(s[:slash])
+	if err != nil {
+		return Prefix{}, err
+	}
+	bits, err := strconv.Atoi(s[slash+1:])
+	if err != nil || bits < 0 || bits > 32 {
+		return Prefix{}, fmt.Errorf("ipaddr: invalid prefix length in %q", s)
+	}
+	p := Prefix{Base: a, Bits: bits}
+	p.Base &= p.Mask()
+	return p, nil
+}
+
+// MustParsePrefix is ParsePrefix that panics on error.
+func MustParsePrefix(s string) Prefix {
+	p, err := ParsePrefix(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Mask returns the netmask of the prefix as an Addr.
+func (p Prefix) Mask() Addr {
+	if p.Bits == 0 {
+		return 0
+	}
+	return Addr(^uint32(0) << (32 - p.Bits))
+}
+
+// Contains reports whether a falls inside the prefix.
+func (p Prefix) Contains(a Addr) bool {
+	return a&p.Mask() == p.Base&p.Mask()
+}
+
+// Size returns the number of addresses covered by the prefix.
+func (p Prefix) Size() uint64 {
+	return uint64(1) << (32 - p.Bits)
+}
+
+// Nth returns the i-th address of the prefix (0 == network address).
+// It panics if i is out of range.
+func (p Prefix) Nth(i uint64) Addr {
+	if i >= p.Size() {
+		panic(fmt.Sprintf("ipaddr: index %d out of range for %s", i, p))
+	}
+	return p.Base&p.Mask() | Addr(i)
+}
+
+// Offset returns the index of a within the prefix, such that
+// p.Nth(p.Offset(a)) == a when p.Contains(a).
+func (p Prefix) Offset(a Addr) uint64 {
+	return uint64(a &^ p.Mask())
+}
+
+// String returns the CIDR notation of the prefix.
+func (p Prefix) String() string {
+	return p.Base.String() + "/" + strconv.Itoa(p.Bits)
+}
+
+// CommonPrefixLen returns the number of leading bits shared by a and b.
+func CommonPrefixLen(a, b Addr) int {
+	x := uint32(a ^ b)
+	n := 0
+	for i := 31; i >= 0; i-- {
+		if x&(1<<uint(i)) != 0 {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// IsPrivate reports whether a belongs to the RFC 1918 ranges, used by the
+// telescope's legitimate-traffic filter.
+func IsPrivate(a Addr) bool {
+	return rfc1918a.Contains(a) || rfc1918b.Contains(a) || rfc1918c.Contains(a)
+}
+
+var (
+	rfc1918a = Prefix{Base: 0x0A000000, Bits: 8}  // 10.0.0.0/8
+	rfc1918b = Prefix{Base: 0xAC100000, Bits: 12} // 172.16.0.0/12
+	rfc1918c = Prefix{Base: 0xC0A80000, Bits: 16} // 192.168.0.0/16
+)

@@ -1,0 +1,108 @@
+// Package netquant computes the streaming network quantities of the
+// paper's Table II from hypersparse traffic matrices: valid packets,
+// unique links/sources/destinations, per-source and per-destination
+// packet counts and fan-out/fan-in, and their maxima. Every quantity is
+// permutation-invariant, so it is safe to compute on anonymized
+// matrices.
+package netquant
+
+import (
+	"fmt"
+
+	"repro/internal/hypersparse"
+	"repro/internal/stats"
+)
+
+// Quantities are the aggregate rows of Table II for one traffic matrix.
+type Quantities struct {
+	ValidPackets       float64 // 1^T A 1
+	UniqueLinks        float64 // 1^T |A|0 1
+	MaxLinkPackets     float64 // max(A)
+	UniqueSources      float64 // 1^T |A 1|0
+	MaxSourcePackets   float64 // max(A 1)
+	MaxSourceFanout    float64 // max(|A|0 1)
+	UniqueDestinations float64 // |1^T A|0 1
+	MaxDestPackets     float64 // max(1^T A)
+	MaxDestFanin       float64 // max(1^T |A|0)
+}
+
+// Compute evaluates all Table II aggregates with one pass per reduction.
+func Compute(m *hypersparse.Matrix) Quantities {
+	rowSums := m.RowSums()
+	rowDegs := m.RowDegrees()
+	colSums := m.ColSums()
+	colDegs := m.ColDegrees()
+	return Quantities{
+		ValidPackets:       m.Sum(),
+		UniqueLinks:        float64(m.NNZ()),
+		MaxLinkPackets:     m.MaxVal(),
+		UniqueSources:      float64(rowSums.NNZ()),
+		MaxSourcePackets:   rowSums.Max(),
+		MaxSourceFanout:    rowDegs.Max(),
+		UniqueDestinations: float64(colSums.NNZ()),
+		MaxDestPackets:     colSums.Max(),
+		MaxDestFanin:       colDegs.Max(),
+	}
+}
+
+// Rows renders the quantities as (name, value) pairs in Table II order.
+func (q Quantities) Rows() [][2]string {
+	f := func(v float64) string { return fmt.Sprintf("%.0f", v) }
+	return [][2]string{
+		{"Valid packets NV", f(q.ValidPackets)},
+		{"Unique links", f(q.UniqueLinks)},
+		{"Max link packets (dmax)", f(q.MaxLinkPackets)},
+		{"Unique sources", f(q.UniqueSources)},
+		{"Max source packets (dmax)", f(q.MaxSourcePackets)},
+		{"Max source fan-out (dmax)", f(q.MaxSourceFanout)},
+		{"Unique destinations", f(q.UniqueDestinations)},
+		{"Max destination packets (dmax)", f(q.MaxDestPackets)},
+		{"Max destination fan-in (dmax)", f(q.MaxDestFanin)},
+	}
+}
+
+// SourcePacketValues returns the per-source packet counts (A·1 values),
+// the degree variable of the paper's Figure 3.
+func SourcePacketValues(m *hypersparse.Matrix) []float64 {
+	return vectorValues(m.RowSums())
+}
+
+// SourceFanoutValues returns per-source unique destination counts.
+func SourceFanoutValues(m *hypersparse.Matrix) []float64 {
+	return vectorValues(m.RowDegrees())
+}
+
+// DestPacketValues returns per-destination packet counts.
+func DestPacketValues(m *hypersparse.Matrix) []float64 {
+	return vectorValues(m.ColSums())
+}
+
+// DestFaninValues returns per-destination unique source counts.
+func DestFaninValues(m *hypersparse.Matrix) []float64 {
+	return vectorValues(m.ColDegrees())
+}
+
+// LinkPacketValues returns the per-link packet counts (the nonzeros of A).
+func LinkPacketValues(m *hypersparse.Matrix) []float64 {
+	out := make([]float64, 0, m.NNZ())
+	m.Iterate(func(e hypersparse.Entry) bool {
+		out = append(out, e.Val)
+		return true
+	})
+	return out
+}
+
+func vectorValues(v *hypersparse.Vector) []float64 {
+	out := make([]float64, 0, v.NNZ())
+	v.Iterate(func(_ uint32, val float64) bool {
+		out = append(out, val)
+		return true
+	})
+	return out
+}
+
+// SourcePacketDistribution bins the Figure 3 degree variable with the
+// paper's binary logarithmic bins.
+func SourcePacketDistribution(m *hypersparse.Matrix) *stats.Binned {
+	return stats.LogBin(SourcePacketValues(m))
+}

@@ -1,0 +1,170 @@
+package pcap
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// pcap file format constants (classic libpcap, microsecond resolution).
+const (
+	magicMicro   = 0xa1b2c3d4
+	versionMajor = 2
+	versionMinor = 4
+	linkEthernet = 1
+	maxSnapLen   = 262144
+)
+
+// Writer emits a libpcap capture file. It buffers internally; Flush (or
+// the caller's own sync) must run before the underlying stream is read.
+type Writer struct {
+	w       *bufio.Writer
+	snapLen int
+	count   int
+	hdr     [16]byte
+}
+
+// NewWriter writes the pcap global header and returns a Writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], magicMicro)
+	binary.LittleEndian.PutUint16(hdr[4:6], versionMajor)
+	binary.LittleEndian.PutUint16(hdr[6:8], versionMinor)
+	binary.LittleEndian.PutUint32(hdr[16:20], maxSnapLen)
+	binary.LittleEndian.PutUint32(hdr[20:24], linkEthernet)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw, snapLen: maxSnapLen}, nil
+}
+
+// WriteFrame appends one raw frame with the given capture timestamp.
+func (w *Writer) WriteFrame(ts time.Time, frame []byte) error {
+	capLen := len(frame)
+	if capLen > w.snapLen {
+		capLen = w.snapLen
+	}
+	binary.LittleEndian.PutUint32(w.hdr[0:4], uint32(ts.Unix()))
+	binary.LittleEndian.PutUint32(w.hdr[4:8], uint32(ts.Nanosecond()/1000))
+	binary.LittleEndian.PutUint32(w.hdr[8:12], uint32(capLen))
+	binary.LittleEndian.PutUint32(w.hdr[12:16], uint32(len(frame)))
+	if _, err := w.w.Write(w.hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.w.Write(frame[:capLen]); err != nil {
+		return err
+	}
+	w.count++
+	return nil
+}
+
+// WritePacket marshals and appends a decoded packet.
+func (w *Writer) WritePacket(p *Packet) error {
+	frame, err := p.MarshalFrame()
+	if err != nil {
+		return err
+	}
+	return w.WriteFrame(p.Time, frame)
+}
+
+// Count reports the number of records written so far.
+func (w *Writer) Count() int { return w.count }
+
+// Flush drains the internal buffer to the underlying writer.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Reader parses a libpcap capture file sequentially.
+type Reader struct {
+	r       *bufio.Reader
+	swapped bool
+	buf     []byte
+}
+
+// ErrBadMagic indicates the stream is not a classic pcap file.
+var ErrBadMagic = errors.New("pcap: bad magic number")
+
+// NewReader validates the global header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var hdr [24]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("pcap: reading global header: %w", err)
+	}
+	magic := binary.LittleEndian.Uint32(hdr[0:4])
+	swapped := false
+	switch magic {
+	case magicMicro:
+	case bswap32(magicMicro):
+		swapped = true
+	default:
+		return nil, ErrBadMagic
+	}
+	link := readU32(hdr[20:24], swapped)
+	if link != linkEthernet {
+		return nil, fmt.Errorf("pcap: unsupported link type %d", link)
+	}
+	return &Reader{r: br, swapped: swapped, buf: make([]byte, 0, 2048)}, nil
+}
+
+// ReadFrame returns the next record's timestamp and raw bytes. The byte
+// slice is reused between calls; callers must copy to retain it. Returns
+// io.EOF at end of file.
+func (r *Reader) ReadFrame() (time.Time, []byte, error) {
+	var hdr [16]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return time.Time{}, nil, io.EOF
+		}
+		return time.Time{}, nil, fmt.Errorf("pcap: reading record header: %w", err)
+	}
+	sec := readU32(hdr[0:4], r.swapped)
+	usec := readU32(hdr[4:8], r.swapped)
+	capLen := readU32(hdr[8:12], r.swapped)
+	if capLen > maxSnapLen {
+		return time.Time{}, nil, fmt.Errorf("pcap: record capture length %d exceeds snaplen", capLen)
+	}
+	if cap(r.buf) < int(capLen) {
+		r.buf = make([]byte, capLen)
+	}
+	r.buf = r.buf[:capLen]
+	if _, err := io.ReadFull(r.r, r.buf); err != nil {
+		return time.Time{}, nil, fmt.Errorf("pcap: truncated record body: %w", err)
+	}
+	ts := time.Unix(int64(sec), int64(usec)*1000).UTC()
+	return ts, r.buf, nil
+}
+
+// ReadPacket decodes the next IPv4 packet, silently skipping non-IPv4
+// records. Returns io.EOF at end of file.
+func (r *Reader) ReadPacket(p *Packet) error {
+	for {
+		ts, frame, err := r.ReadFrame()
+		if err != nil {
+			return err
+		}
+		switch err := p.UnmarshalFrame(frame); err {
+		case nil:
+			p.Time = ts
+			return nil
+		case ErrNotIPv4:
+			continue
+		default:
+			return err
+		}
+	}
+}
+
+func readU32(b []byte, swapped bool) uint32 {
+	if swapped {
+		return binary.BigEndian.Uint32(b)
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func bswap32(v uint32) uint32 {
+	return v<<24 | v>>24 | (v&0xff00)<<8 | (v>>8)&0xff00
+}

@@ -1,0 +1,187 @@
+package pcap
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/ipaddr"
+)
+
+// Filter is a compiled packet predicate, a small BPF-style language used
+// by the telescope to reduce the stream to "valid packets" before
+// windowing (the paper filters by destination darkspace and discards
+// legitimate traffic).
+//
+// Grammar (whitespace separated, left-associative):
+//
+//	expr   := term {"or" term}
+//	term   := factor {"and" factor}
+//	factor := ["not"] atom
+//	atom   := "tcp" | "udp" | "icmp"
+//	        | "src" "net" CIDR   | "dst" "net" CIDR
+//	        | "src" "port" NUM   | "dst" "port" NUM
+//	        | "syn"              (TCP SYN set)
+//	        | "(" expr ")"
+type Filter struct {
+	eval func(*Packet) bool
+	src  string
+}
+
+// Compile parses a filter expression. An empty expression matches
+// everything.
+func Compile(expr string) (*Filter, error) {
+	toks := tokenize(expr)
+	if len(toks) == 0 {
+		return &Filter{eval: func(*Packet) bool { return true }, src: expr}, nil
+	}
+	p := &filterParser{toks: toks}
+	fn, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.toks) {
+		return nil, fmt.Errorf("pcap: trailing tokens in filter %q", expr)
+	}
+	return &Filter{eval: fn, src: expr}, nil
+}
+
+// MustCompile is Compile that panics on error.
+func MustCompile(expr string) *Filter {
+	f, err := Compile(expr)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Match reports whether the packet satisfies the filter.
+func (f *Filter) Match(p *Packet) bool { return f.eval(p) }
+
+// String returns the original filter expression.
+func (f *Filter) String() string { return f.src }
+
+func tokenize(s string) []string {
+	s = strings.ReplaceAll(s, "(", " ( ")
+	s = strings.ReplaceAll(s, ")", " ) ")
+	return strings.Fields(s)
+}
+
+type filterParser struct {
+	toks []string
+	pos  int
+}
+
+func (p *filterParser) peek() string {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos]
+	}
+	return ""
+}
+
+func (p *filterParser) next() string {
+	t := p.peek()
+	if t != "" {
+		p.pos++
+	}
+	return t
+}
+
+func (p *filterParser) parseExpr() (func(*Packet) bool, error) {
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == "or" {
+		p.next()
+		right, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		l, r := left, right
+		left = func(pk *Packet) bool { return l(pk) || r(pk) }
+	}
+	return left, nil
+}
+
+func (p *filterParser) parseTerm() (func(*Packet) bool, error) {
+	left, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == "and" {
+		p.next()
+		right, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		l, r := left, right
+		left = func(pk *Packet) bool { return l(pk) && r(pk) }
+	}
+	return left, nil
+}
+
+func (p *filterParser) parseFactor() (func(*Packet) bool, error) {
+	if p.peek() == "not" {
+		p.next()
+		inner, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		return func(pk *Packet) bool { return !inner(pk) }, nil
+	}
+	return p.parseAtom()
+}
+
+func (p *filterParser) parseAtom() (func(*Packet) bool, error) {
+	switch tok := p.next(); tok {
+	case "(":
+		inner, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.next() != ")" {
+			return nil, fmt.Errorf("pcap: missing ')' in filter")
+		}
+		return inner, nil
+	case "tcp":
+		return func(pk *Packet) bool { return pk.Proto == ProtoTCP }, nil
+	case "udp":
+		return func(pk *Packet) bool { return pk.Proto == ProtoUDP }, nil
+	case "icmp":
+		return func(pk *Packet) bool { return pk.Proto == ProtoICMP }, nil
+	case "syn":
+		return func(pk *Packet) bool {
+			return pk.Proto == ProtoTCP && pk.Flags&FlagSYN != 0
+		}, nil
+	case "src", "dst":
+		isSrc := tok == "src"
+		switch kind := p.next(); kind {
+		case "net":
+			pfx, err := ipaddr.ParsePrefix(p.next())
+			if err != nil {
+				return nil, err
+			}
+			if isSrc {
+				return func(pk *Packet) bool { return pfx.Contains(pk.Src) }, nil
+			}
+			return func(pk *Packet) bool { return pfx.Contains(pk.Dst) }, nil
+		case "port":
+			n, err := strconv.ParseUint(p.next(), 10, 16)
+			if err != nil {
+				return nil, fmt.Errorf("pcap: bad port in filter: %v", err)
+			}
+			port := uint16(n)
+			if isSrc {
+				return func(pk *Packet) bool { return pk.SrcPort == port }, nil
+			}
+			return func(pk *Packet) bool { return pk.DstPort == port }, nil
+		default:
+			return nil, fmt.Errorf("pcap: expected net/port after %q, got %q", tok, kind)
+		}
+	case "":
+		return nil, fmt.Errorf("pcap: unexpected end of filter")
+	default:
+		return nil, fmt.Errorf("pcap: unknown filter token %q", tok)
+	}
+}

@@ -1,0 +1,224 @@
+package radiation
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/ipaddr"
+	"repro/internal/stats"
+)
+
+// Archetype classifies a radiation source by the mechanism generating its
+// packets, following the paper's taxonomy of darkspace traffic
+// ("backscatter from randomly spoofed sources used in denial-of-service
+// attacks, the automated spread of Internet worms and viruses, scanning
+// of address space ..., various misconfigurations ... longer-duration,
+// low-intensity events intended to establish and maintain botnets").
+type Archetype int
+
+// Archetypes, in decreasing order of typical population share.
+const (
+	Scanner Archetype = iota
+	Worm
+	Backscatter
+	BotnetKeepalive
+	Misconfiguration
+	numArchetypes
+)
+
+// String returns the archetype name as the honeyfarm classifies it.
+func (a Archetype) String() string {
+	switch a {
+	case Scanner:
+		return "scanner"
+	case Worm:
+		return "worm"
+	case Backscatter:
+		return "backscatter"
+	case BotnetKeepalive:
+		return "botnet"
+	case Misconfiguration:
+		return "misconfiguration"
+	default:
+		return "unknown"
+	}
+}
+
+// archetypeWeights is the population mix; scanning dominates darkspace
+// traffic in recent telescope studies.
+var archetypeWeights = [numArchetypes]float64{0.55, 0.12, 0.15, 0.12, 0.06}
+
+// Source is one member of the radiation population.
+type Source struct {
+	ID         int
+	IP         ipaddr.Addr
+	Brightness float64 // expected packets per telescope window
+	Anchor     float64 // beam anchor month (fractional)
+	Type       Archetype
+	Persistent bool // always-on background source
+}
+
+// Population is an immutable set of radiation sources plus the beam
+// model. Construction is deterministic in Config.Seed.
+type Population struct {
+	cfg     Config
+	sources []Source
+}
+
+// NewPopulation builds the population. It returns an error if the config
+// is invalid.
+func NewPopulation(cfg Config) (*Population, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	p := &Population{cfg: cfg, sources: make([]Source, cfg.NumSources)}
+	seen := make(map[ipaddr.Addr]bool, cfg.NumSources)
+	for i := range p.sources {
+		s := &p.sources[i]
+		s.ID = i
+		s.IP = randomPublicAddr(rng, cfg.Darkspace, seen)
+		s.Brightness = cfg.ZM.Sample(rng)
+		// Anchors extend past both ends of the study so edge months see
+		// both arriving and departing beams.
+		s.Anchor = -6 + rng.Float64()*(float64(cfg.Months)+12)
+		s.Type = sampleArchetype(rng)
+		s.Persistent = rng.Float64() < cfg.Persistent
+	}
+	return p, nil
+}
+
+// Len returns the population size.
+func (p *Population) Len() int { return len(p.sources) }
+
+// Source returns the i-th source.
+func (p *Population) Source(i int) Source { return p.sources[i] }
+
+// Config returns the generating configuration (ground truth for
+// validation).
+func (p *Population) Config() Config { return p.cfg }
+
+// beam returns the ground-truth activity probability of source s in
+// month m: a modified Cauchy around the source's anchor.
+func (p *Population) beam(s *Source, month float64) float64 {
+	beta := p.cfg.BetaStar(s.Brightness)
+	dt := math.Abs(month - s.Anchor)
+	return beta / (beta + math.Pow(dt, p.cfg.AlphaStar))
+}
+
+// telescopeEpisode is the sharp kernel governing when a source's scan
+// episode sweeps the darkspace: much narrower than the honeyfarm beam so
+// a telescope snapshot localizes the beam anchor in time.
+func (p *Population) telescopeEpisode(s *Source, month float64) float64 {
+	dt := math.Abs(month - s.Anchor)
+	return p.cfg.TelescopeBeta / (p.cfg.TelescopeBeta + math.Pow(dt, p.cfg.TelescopeAlpha))
+}
+
+// TelescopeActive reports whether source s beams into the telescope's
+// darkspace during the window anchored at the given (fractional) month.
+// Persistent sources are always active; others draw a Bernoulli from the
+// sharp episode kernel. The draw is deterministic per (seed, source,
+// month, channel) so telescope and honeyfarm visibility are independent
+// but reproducible.
+func (p *Population) TelescopeActive(i int, month float64) bool {
+	s := &p.sources[i]
+	if s.Persistent {
+		return true
+	}
+	u := hashUnit(p.cfg.Seed, uint64(i), monthKey(month), chanTelescope)
+	return u < p.telescopeEpisode(s, month)
+}
+
+// HoneyfarmVisible reports whether source s touches the honeyfarm during
+// integer month m. The probability is the beam profile scaled by the
+// log-brightness aperture, plus the beam-independent background floor.
+// A month window collects for its whole span, so the beam is evaluated
+// at the month midpoint m + 0.5 (anchoring at the month start would put
+// every mid-month beam half a month away from its own collection
+// window and artificially depress same-month correlation peaks).
+func (p *Population) HoneyfarmVisible(i int, month int) bool {
+	s := &p.sources[i]
+	peak := p.cfg.PeakVisibility(s.Brightness)
+	if s.Persistent {
+		return hashUnit(p.cfg.Seed, uint64(i), uint64(month), chanHoneyfarm) < peak
+	}
+	prob := peak * (p.cfg.Background + (1-p.cfg.Background)*p.beam(s, float64(month)+0.5))
+	return hashUnit(p.cfg.Seed, uint64(i), uint64(month), chanHoneyfarm) < prob
+}
+
+// GroundTruthVisibility returns the exact honeyfarm visibility
+// probability for source i in month m, for validation tests.
+func (p *Population) GroundTruthVisibility(i int, month int) float64 {
+	s := &p.sources[i]
+	peak := p.cfg.PeakVisibility(s.Brightness)
+	if s.Persistent {
+		return peak
+	}
+	return peak * (p.cfg.Background + (1-p.cfg.Background)*p.beam(s, float64(month)+0.5))
+}
+
+// channel salts separating the telescope and honeyfarm Bernoulli draws
+const (
+	chanTelescope = 0x7e1e5c09e
+	chanHoneyfarm = 0x40e79fa2
+)
+
+func sampleArchetype(rng *rand.Rand) Archetype {
+	u := rng.Float64()
+	acc := 0.0
+	for a := Scanner; a < numArchetypes; a++ {
+		acc += archetypeWeights[a]
+		if u < acc {
+			return a
+		}
+	}
+	return Misconfiguration
+}
+
+// randomPublicAddr draws a distinct routable address outside the
+// darkspace and outside RFC 1918 space.
+func randomPublicAddr(rng *rand.Rand, dark ipaddr.Prefix, seen map[ipaddr.Addr]bool) ipaddr.Addr {
+	for {
+		a := ipaddr.Addr(rng.Uint32())
+		if dark.Contains(a) || ipaddr.IsPrivate(a) || seen[a] {
+			continue
+		}
+		// Exclude multicast/reserved 224.0.0.0/3 and 0.0.0.0/8.
+		if uint32(a)>>29 == 7 || uint32(a)>>24 == 0 {
+			continue
+		}
+		seen[a] = true
+		return a
+	}
+}
+
+// hashUnit maps (seed, id, key, channel) to a uniform float64 in [0, 1)
+// via splitmix64, giving independent reproducible Bernoulli draws
+// without storing per-source RNG state.
+func hashUnit(seed int64, id, key, channel uint64) float64 {
+	x := uint64(seed) ^ id*0x9E3779B97F4A7C15 ^ key*0xBF58476D1CE4E5B9 ^ channel*0x94D049BB133111EB
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
+}
+
+// monthKey quantizes a fractional month to a stable hash key.
+func monthKey(m float64) uint64 {
+	return uint64(int64(math.Round(m * 1024)))
+}
+
+// BandSources returns the indices of sources whose brightness lies in
+// [2^band, 2^(band+1)), for ground-truth comparisons.
+func (p *Population) BandSources(band int) []int {
+	lo, hi := stats.BandLow(band), stats.BandLow(band+1)
+	var out []int
+	for i := range p.sources {
+		if d := p.sources[i].Brightness; d >= lo && d < hi {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,303 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPNormBasics(t *testing.T) {
+	xs := []float64{3, -4}
+	if got := PNorm(xs, 2); math.Abs(got-5) > 1e-12 {
+		t.Errorf("L2 = %g, want 5", got)
+	}
+	if got := PNorm(xs, 1); math.Abs(got-7) > 1e-12 {
+		t.Errorf("L1 = %g, want 7", got)
+	}
+	// (sqrt(3)+sqrt(4))^2 = (1.732..+2)^2
+	want := math.Pow(math.Sqrt(3)+2, 2)
+	if got := HalfNorm(xs); math.Abs(got-want) > 1e-9 {
+		t.Errorf("HalfNorm = %g, want %g", got, want)
+	}
+}
+
+func TestPNormPanicsOnBadP(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("PNorm(p<=0) did not panic")
+		}
+	}()
+	PNorm([]float64{1}, 0)
+}
+
+func TestHalfNormDampsOutliers(t *testing.T) {
+	// The rationale for the paper's choice: relative to L2, the 1/2 norm
+	// weighs one large residual less against many small ones.
+	spike := []float64{10, 0, 0, 0}
+	spread := []float64{2.5, 2.5, 2.5, 2.5}
+	if PNorm(spike, 2) <= PNorm(spread, 2) {
+		t.Fatal("sanity: L2 should prefer spread")
+	}
+	if HalfNorm(spike) >= HalfNorm(spread) {
+		t.Error("HalfNorm did not prefer the concentrated residual")
+	}
+}
+
+func TestResidualsMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch did not panic")
+		}
+	}()
+	Residuals([]float64{1}, []float64{1, 2})
+}
+
+func TestRangeValues(t *testing.T) {
+	lin := Range{Lo: 0, Hi: 10}.Values(11)
+	if lin[0] != 0 || lin[10] != 10 || lin[5] != 5 {
+		t.Errorf("linear grid = %v", lin)
+	}
+	logv := Range{Lo: 1, Hi: 100, Log: true}.Values(3)
+	if math.Abs(logv[1]-10) > 1e-9 {
+		t.Errorf("log grid midpoint = %g, want 10", logv[1])
+	}
+	single := Range{Lo: 5, Hi: 9}.Values(1)
+	if len(single) != 1 || single[0] != 5 {
+		t.Errorf("single-point grid = %v", single)
+	}
+}
+
+func TestGridSearch2Recovers(t *testing.T) {
+	target := func(a, b float64) float64 {
+		return math.Abs(a-1.3) + math.Abs(b-4.2)
+	}
+	a, b, l := GridSearch2(Range{Lo: 0, Hi: 3}, Range{Lo: 0.1, Hi: 50, Log: true}, 60, target)
+	if math.Abs(a-1.3) > 0.06 || math.Abs(b-4.2) > 0.5 {
+		t.Errorf("grid search found (%g, %g, loss %g)", a, b, l)
+	}
+}
+
+func TestGridSearch1Recovers(t *testing.T) {
+	x, _ := GridSearch1(Range{Lo: 0, Hi: 10}, 100, func(x float64) float64 {
+		return (x - 7.25) * (x - 7.25)
+	})
+	if math.Abs(x-7.25) > 0.06 {
+		t.Errorf("found %g, want 7.25", x)
+	}
+}
+
+func TestZipfMandelbrotQuantileMonotone(t *testing.T) {
+	z := PaperZM(1 << 20)
+	prev := 0.0
+	for u := 0.0; u < 1; u += 0.01 {
+		q := z.Quantile(u)
+		if q < prev-1e-9 {
+			t.Fatalf("quantile not monotone at u=%g", u)
+		}
+		prev = q
+	}
+	if q := z.Quantile(0); math.Abs(q-1) > 1e-6 {
+		t.Errorf("Quantile(0) = %g, want 1", q)
+	}
+}
+
+func TestZipfSampleRange(t *testing.T) {
+	z := PaperZM(1024)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		v := z.Sample(rng)
+		if v < 1 || v > 1024 || v != math.Round(v) {
+			t.Fatalf("sample %g out of range or not integral", v)
+		}
+	}
+}
+
+func TestZipfBinnedProbSumsToOne(t *testing.T) {
+	z := PaperZM(1 << 15)
+	p := z.BinnedProb(15)
+	var s float64
+	for _, x := range p {
+		s += x
+	}
+	if math.Abs(s-1) > 1e-9 {
+		t.Errorf("binned model mass = %g, want 1", s)
+	}
+}
+
+func TestZipfHeavyTail(t *testing.T) {
+	// Most mass at small degrees, but non-trivial tail.
+	z := PaperZM(1 << 20)
+	rng := rand.New(rand.NewSource(2))
+	small, big := 0, 0
+	for i := 0; i < 20000; i++ {
+		v := z.Sample(rng)
+		if v <= 2 {
+			small++
+		}
+		if v >= 1000 {
+			big++
+		}
+	}
+	// With δ = 3.93 the head is flattened: the continuous CDF puts
+	// roughly 15-20% of mass at d <= 2, far more than any single tail bin.
+	if small < 2000 {
+		t.Errorf("only %d/20000 samples <= 2; head too light", small)
+	}
+	if big == 0 {
+		t.Error("no samples >= 1000; tail too light for a ZM law")
+	}
+}
+
+// TestFitZipfMandelbrotRecovery is the key self-consistency check for the
+// Figure 3 pipeline: samples drawn from a known ZM law must yield fitted
+// parameters near the truth.
+func TestFitZipfMandelbrotRecovery(t *testing.T) {
+	truth := ZipfMandelbrot{Alpha: 1.76, Delta: 3.93, DMax: 1 << 22}
+	rng := rand.New(rand.NewSource(3))
+	vals := make([]float64, 200000)
+	for i := range vals {
+		vals[i] = truth.Sample(rng)
+	}
+	alpha, delta, res := FitZipfMandelbrot(LogBin(vals), truth.DMax)
+	if math.Abs(alpha-truth.Alpha) > 0.25 {
+		t.Errorf("alpha = %g (residual %g), want ~%g", alpha, res, truth.Alpha)
+	}
+	if math.Abs(delta-truth.Delta) > 3.0 {
+		t.Errorf("delta = %g, want ~%g", delta, truth.Delta)
+	}
+}
+
+func TestFitZipfEmptyInput(t *testing.T) {
+	_, _, res := FitZipfMandelbrot(LogBin(nil), 1024)
+	if !math.IsInf(res, 1) {
+		t.Error("fit of empty distribution should report infinite residual")
+	}
+}
+
+func TestModifiedCauchyShape(t *testing.T) {
+	m := ModifiedCauchy{Alpha: 1, Beta: 4}
+	if m.Eval(0) != 1 {
+		t.Errorf("Eval(0) = %g, want 1", m.Eval(0))
+	}
+	if math.Abs(m.Eval(1)-4.0/5.0) > 1e-12 {
+		t.Errorf("Eval(1) = %g, want 0.8", m.Eval(1))
+	}
+	if m.Eval(2) >= m.Eval(1) || m.Eval(-2) != m.Eval(2) {
+		t.Error("modified Cauchy not symmetric-decreasing")
+	}
+	if math.Abs(m.OneMonthDrop()-0.2) > 1e-12 {
+		t.Errorf("OneMonthDrop = %g, want 0.2", m.OneMonthDrop())
+	}
+}
+
+func TestCauchyIsModifiedCauchySpecialCase(t *testing.T) {
+	// Setting α = 2 and β = γ² must reproduce the standard Cauchy.
+	g := 1.7
+	c := Cauchy{Gamma: g}
+	m := ModifiedCauchy{Alpha: 2, Beta: g * g}
+	for dt := -5.0; dt <= 5; dt += 0.5 {
+		if math.Abs(c.Eval(dt)-m.Eval(dt)) > 1e-12 {
+			t.Fatalf("mismatch at dt=%g: %g vs %g", dt, c.Eval(dt), m.Eval(dt))
+		}
+	}
+}
+
+func TestGaussianShape(t *testing.T) {
+	g := Gaussian{Sigma: 2}
+	if g.Eval(0) != 1 {
+		t.Error("Gaussian peak != 1")
+	}
+	if math.Abs(g.Eval(2)-math.Exp(-0.5)) > 1e-12 {
+		t.Errorf("Eval(sigma) = %g, want e^-1/2", g.Eval(2))
+	}
+}
+
+func TestFitModifiedCauchyRecovery(t *testing.T) {
+	truth := ModifiedCauchy{Alpha: 1.0, Beta: 4.0}
+	peak := 0.7
+	dts := []float64{-4, -3, -2, -1, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	vals := make([]float64, len(dts))
+	for i, dt := range dts {
+		vals[i] = peak * truth.Eval(dt)
+	}
+	fit := FitModifiedCauchy(dts, vals)
+	m := fit.Model.(ModifiedCauchy)
+	if math.Abs(m.Alpha-truth.Alpha) > 0.1 || math.Abs(m.Beta-truth.Beta)/truth.Beta > 0.2 {
+		t.Errorf("recovered (α=%g, β=%g), want (1, 4); residual %g", m.Alpha, m.Beta, fit.Residual)
+	}
+	if math.Abs(fit.Peak-peak) > 1e-12 {
+		t.Errorf("peak = %g, want %g", fit.Peak, peak)
+	}
+}
+
+func TestFitModifiedCauchyNoisyRecovery(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		truth := ModifiedCauchy{Alpha: 0.5 + rng.Float64(), Beta: 1 + 9*rng.Float64()}
+		dts := make([]float64, 15)
+		vals := make([]float64, 15)
+		for i := range dts {
+			dts[i] = float64(i - 4)
+			vals[i] = 0.8*truth.Eval(dts[i]) + 0.01*(rng.Float64()-0.5)
+		}
+		fit := FitModifiedCauchy(dts, vals)
+		m := fit.Model.(ModifiedCauchy)
+		// Loose bounds: noisy small-sample fit.
+		return math.Abs(m.Alpha-truth.Alpha) < 0.5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestModifiedCauchyBeatsAlternativesOnOwnData reproduces the Figure 5
+// comparison logic: on data generated from a modified Cauchy with α=3/4,
+// the modified-Cauchy family must fit at least as well as Gaussian or
+// standard Cauchy.
+func TestModifiedCauchyBeatsAlternativesOnOwnData(t *testing.T) {
+	truth := ModifiedCauchy{Alpha: 0.75, Beta: 2.0}
+	dts := make([]float64, 15)
+	vals := make([]float64, 15)
+	for i := range dts {
+		dts[i] = float64(i - 4)
+		vals[i] = 0.65 * truth.Eval(dts[i])
+	}
+	fits := FitAllTemporal(dts, vals)
+	mc := fits["modified-cauchy"].Residual
+	if mc > fits["cauchy"].Residual+1e-9 || mc > fits["gaussian"].Residual+1e-9 {
+		t.Errorf("modified Cauchy residual %g not best (cauchy %g, gaussian %g)",
+			mc, fits["cauchy"].Residual, fits["gaussian"].Residual)
+	}
+}
+
+func TestTemporalFitCurve(t *testing.T) {
+	fit := TemporalFit{Model: ModifiedCauchy{Alpha: 1, Beta: 1}, Peak: 0.5}
+	c := fit.Curve([]float64{0, 1})
+	if c[0] != 0.5 || math.Abs(c[1]-0.25) > 1e-12 {
+		t.Errorf("Curve = %v", c)
+	}
+}
+
+func BenchmarkFitModifiedCauchy(b *testing.B) {
+	truth := ModifiedCauchy{Alpha: 1, Beta: 4}
+	dts := make([]float64, 15)
+	vals := make([]float64, 15)
+	for i := range dts {
+		dts[i] = float64(i - 4)
+		vals[i] = truth.Eval(dts[i])
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		FitModifiedCauchy(dts, vals)
+	}
+}
+
+func BenchmarkZipfSample(b *testing.B) {
+	z := PaperZM(1 << 30)
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		z.Sample(rng)
+	}
+}

@@ -1,0 +1,103 @@
+package stats
+
+import "math"
+
+// PNorm returns the p-norm (sum |x_i|^p)^(1/p) of the vector. The paper
+// fits its temporal-correlation curves by minimizing the fractional
+// p = 1/2 norm, which is robust to the heavy-tailed fluctuations of the
+// bin occupancies (large residuals are damped relative to L2).
+func PNorm(xs []float64, p float64) float64 {
+	if p <= 0 {
+		panic("stats: PNorm requires p > 0")
+	}
+	var s float64
+	for _, x := range xs {
+		s += math.Pow(math.Abs(x), p)
+	}
+	return math.Pow(s, 1/p)
+}
+
+// HalfNorm is the paper's fitting norm, PNorm(xs, 1/2).
+func HalfNorm(xs []float64) float64 { return PNorm(xs, 0.5) }
+
+// Residuals returns data[i] - model[i]; the slices must be equal length.
+func Residuals(data, model []float64) []float64 {
+	if len(data) != len(model) {
+		panic("stats: residual length mismatch")
+	}
+	out := make([]float64, len(data))
+	for i := range data {
+		out[i] = data[i] - model[i]
+	}
+	return out
+}
+
+// Range is a closed parameter interval for grid search.
+type Range struct {
+	Lo, Hi float64
+	Log    bool // geometric spacing when true
+}
+
+// Values materializes n grid points across the range.
+func (r Range) Values(n int) []float64 {
+	if n == 1 {
+		return []float64{r.Lo}
+	}
+	out := make([]float64, n)
+	if r.Log {
+		llo, lhi := math.Log(r.Lo), math.Log(r.Hi)
+		for i := range out {
+			out[i] = math.Exp(llo + (lhi-llo)*float64(i)/float64(n-1))
+		}
+	} else {
+		for i := range out {
+			out[i] = r.Lo + (r.Hi-r.Lo)*float64(i)/float64(n-1)
+		}
+	}
+	return out
+}
+
+// GridSearch2 minimizes loss over a 2-D grid, then refines with a second,
+// narrower grid centered on the coarse optimum (one zoom stage is enough
+// for the smooth single-minimum losses used here). It mirrors the paper's
+// procedure of "generating all distributions over a range of possible α
+// and β values ... and then selecting the α and β that minimize" the
+// fitting norm.
+func GridSearch2(ra, rb Range, steps int, loss func(a, b float64) float64) (bestA, bestB, bestLoss float64) {
+	if steps < 2 {
+		steps = 2
+	}
+	bestLoss = math.Inf(1)
+	as, bs := ra.Values(steps), rb.Values(steps)
+	for _, a := range as {
+		for _, b := range bs {
+			if l := loss(a, b); l < bestLoss {
+				bestA, bestB, bestLoss = a, b, l
+			}
+		}
+	}
+	// Zoom: shrink each range around the winner by the grid pitch.
+	zoom := func(r Range, best float64) Range {
+		if r.Log {
+			f := math.Pow(r.Hi/r.Lo, 1/float64(steps-1))
+			return Range{Lo: math.Max(r.Lo, best/f), Hi: math.Min(r.Hi, best*f), Log: true}
+		}
+		h := (r.Hi - r.Lo) / float64(steps-1)
+		return Range{Lo: math.Max(r.Lo, best-h), Hi: math.Min(r.Hi, best+h)}
+	}
+	ra2, rb2 := zoom(ra, bestA), zoom(rb, bestB)
+	for _, a := range ra2.Values(steps) {
+		for _, b := range rb2.Values(steps) {
+			if l := loss(a, b); l < bestLoss {
+				bestA, bestB, bestLoss = a, b, l
+			}
+		}
+	}
+	return bestA, bestB, bestLoss
+}
+
+// GridSearch1 minimizes loss over a 1-D grid with one zoom stage.
+func GridSearch1(r Range, steps int, loss func(x float64) float64) (bestX, bestLoss float64) {
+	a, _, l := GridSearch2(r, Range{Lo: 1, Hi: 1}, steps, func(x, _ float64) float64 { return loss(x) })
+	return a, l
+}

@@ -1,0 +1,33 @@
+package stats
+
+import "math"
+
+// Pearson returns the Pearson correlation coefficient of two equal
+// length samples, or 0 when either sample is degenerate. The experiment
+// harness uses it to score the log-linearity of the Figure 4 law.
+func Pearson(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("stats: Pearson length mismatch")
+	}
+	n := float64(len(x))
+	if n < 2 {
+		return 0
+	}
+	var sx, sy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/n, sy/n
+	var cov, vx, vy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(vx*vy)
+}

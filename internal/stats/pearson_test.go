@@ -1,0 +1,69 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPearsonPerfectCorrelation(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{10, 20, 30, 40}
+	if r := Pearson(x, y); math.Abs(r-1) > 1e-12 {
+		t.Errorf("r = %g, want 1", r)
+	}
+	neg := []float64{40, 30, 20, 10}
+	if r := Pearson(x, neg); math.Abs(r+1) > 1e-12 {
+		t.Errorf("r = %g, want -1", r)
+	}
+}
+
+func TestPearsonIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]float64, 5000)
+	y := make([]float64, 5000)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = rng.NormFloat64()
+	}
+	if r := Pearson(x, y); math.Abs(r) > 0.05 {
+		t.Errorf("independent samples r = %g", r)
+	}
+}
+
+func TestPearsonDegenerate(t *testing.T) {
+	if r := Pearson([]float64{1, 1, 1}, []float64{1, 2, 3}); r != 0 {
+		t.Errorf("constant x r = %g, want 0", r)
+	}
+	if r := Pearson([]float64{1}, []float64{2}); r != 0 {
+		t.Errorf("n=1 r = %g, want 0", r)
+	}
+}
+
+func TestPearsonMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch did not panic")
+		}
+	}()
+	Pearson([]float64{1}, []float64{1, 2})
+}
+
+func TestPearsonScaleInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := make([]float64, 100)
+	y := make([]float64, 100)
+	for i := range x {
+		x[i] = rng.Float64()
+		y[i] = 2*x[i] + 0.1*rng.Float64()
+	}
+	r1 := Pearson(x, y)
+	scaled := make([]float64, len(y))
+	for i := range y {
+		scaled[i] = 1000*y[i] - 77
+	}
+	r2 := Pearson(x, scaled)
+	if math.Abs(r1-r2) > 1e-9 {
+		t.Errorf("affine transform changed r: %g vs %g", r1, r2)
+	}
+}

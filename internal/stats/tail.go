@@ -1,0 +1,114 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// tail.go provides classical heavy-tail diagnostics that complement the
+// binned Zipf-Mandelbrot fit: the Hill estimator of the tail index and
+// the one-sample Kolmogorov-Smirnov distance, following the methodology
+// of Clauset-Shalizi-Newman [48] that the paper's binning is taken from.
+
+// HillEstimator returns the Hill estimate of the tail exponent alpha
+// using the k largest observations:
+//
+//	alpha = 1 + k / sum_{i=1..k} ln(x_(n-i+1) / x_(n-k))
+//
+// For a pure power law p(x) ∝ x^(-alpha) the estimate converges to
+// alpha as k grows (with k/n -> 0). Returns an error when the sample or
+// k is unusable.
+func HillEstimator(values []float64, k int) (float64, error) {
+	if k < 1 || k >= len(values) {
+		return 0, fmt.Errorf("stats: Hill k=%d must be in [1, n-1] with n=%d", k, len(values))
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	xk := sorted[len(sorted)-1-k] // the (k+1)-th largest
+	if xk <= 0 {
+		return 0, fmt.Errorf("stats: Hill requires positive threshold, got %g", xk)
+	}
+	var s float64
+	for i := len(sorted) - k; i < len(sorted); i++ {
+		if sorted[i] <= 0 {
+			return 0, fmt.Errorf("stats: Hill requires positive tail values")
+		}
+		s += math.Log(sorted[i] / xk)
+	}
+	if s == 0 {
+		return 0, fmt.Errorf("stats: degenerate tail (all values equal)")
+	}
+	return 1 + float64(k)/s, nil
+}
+
+// HillPlot evaluates the Hill estimator over a sweep of k values
+// (log-spaced), the standard diagnostic for choosing the tail cut.
+func HillPlot(values []float64, points int) []HillPoint {
+	n := len(values)
+	if n < 4 || points < 1 {
+		return nil
+	}
+	var out []HillPoint
+	seen := make(map[int]bool)
+	for i := 0; i < points; i++ {
+		k := int(math.Round(math.Pow(float64(n-2), float64(i+1)/float64(points))))
+		if k < 1 {
+			k = 1
+		}
+		if k > n-1 {
+			k = n - 1
+		}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		if a, err := HillEstimator(values, k); err == nil {
+			out = append(out, HillPoint{K: k, Alpha: a})
+		}
+	}
+	return out
+}
+
+// HillPoint is one point of a Hill plot.
+type HillPoint struct {
+	K     int
+	Alpha float64
+}
+
+// KSDistance returns the one-sample Kolmogorov-Smirnov statistic
+// sup_x |F_n(x) - F(x)| between the empirical distribution of the
+// sample and the model CDF.
+func KSDistance(values []float64, cdf func(float64) float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	n := float64(len(sorted))
+	var d float64
+	for i, x := range sorted {
+		f := cdf(x)
+		lo := math.Abs(f - float64(i)/n)
+		hi := math.Abs(float64(i+1)/n - f)
+		if lo > d {
+			d = lo
+		}
+		if hi > d {
+			d = hi
+		}
+	}
+	return d
+}
+
+// CDF returns the continuous-relaxation cumulative distribution of the
+// Zipf-Mandelbrot law, for use with KSDistance.
+func (z ZipfMandelbrot) CDF(x float64) float64 {
+	if x < 1 {
+		return 0
+	}
+	if x > z.DMax {
+		return 1
+	}
+	return z.cdfCont(x)
+}

@@ -1,0 +1,137 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// paretoSample draws n values from a pure Pareto law p(x) ∝ x^-(alpha)
+// for x >= 1 (tail index alpha).
+func paretoSample(rng *rand.Rand, n int, alpha float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		u := rng.Float64()
+		out[i] = math.Pow(1-u, -1/(alpha-1))
+	}
+	return out
+}
+
+func TestHillEstimatorRecoversPareto(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, alpha := range []float64{1.76, 2.5} {
+		vals := paretoSample(rng, 50000, alpha)
+		got, err := HillEstimator(vals, 2000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-alpha) > 0.15 {
+			t.Errorf("Hill alpha = %g, want ~%g", got, alpha)
+		}
+	}
+}
+
+func TestHillEstimatorErrors(t *testing.T) {
+	if _, err := HillEstimator([]float64{1, 2, 3}, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := HillEstimator([]float64{1, 2, 3}, 3); err == nil {
+		t.Error("k=n accepted")
+	}
+	if _, err := HillEstimator([]float64{-1, -2, 3, 4}, 2); err == nil {
+		t.Error("negative threshold accepted")
+	}
+	if _, err := HillEstimator([]float64{5, 5, 5, 5}, 2); err == nil {
+		t.Error("degenerate tail accepted")
+	}
+}
+
+func TestHillPlotStabilizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	vals := paretoSample(rng, 30000, 2.0)
+	plot := HillPlot(vals, 12)
+	if len(plot) < 5 {
+		t.Fatalf("plot has only %d points", len(plot))
+	}
+	// Mid-range points should cluster near the true index.
+	mid := plot[len(plot)/2]
+	if math.Abs(mid.Alpha-2.0) > 0.4 {
+		t.Errorf("mid-plot alpha = %g at k=%d, want ~2", mid.Alpha, mid.K)
+	}
+	if HillPlot(vals[:3], 5) != nil {
+		t.Error("tiny sample should produce no plot")
+	}
+}
+
+func TestKSDistanceSelfConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	z := PaperZM(1 << 20)
+	vals := make([]float64, 20000)
+	for i := range vals {
+		// Use the continuous quantile directly (no rounding) so the
+		// sample follows the continuous CDF exactly.
+		vals[i] = z.Quantile(rng.Float64())
+	}
+	d := KSDistance(vals, z.CDF)
+	if d > 0.02 {
+		t.Errorf("KS distance to the generating law = %g, want ~0", d)
+	}
+	// Against a very different law the distance must be large.
+	wrong := ZipfMandelbrot{Alpha: 3.5, Delta: 0.1, DMax: 1 << 20}
+	if dw := KSDistance(vals, wrong.CDF); dw < 5*d || dw < 0.1 {
+		t.Errorf("KS distance to wrong law = %g, not clearly worse than %g", dw, d)
+	}
+}
+
+func TestKSDistanceEdgeCases(t *testing.T) {
+	if KSDistance(nil, func(float64) float64 { return 0 }) != 0 {
+		t.Error("empty sample KS != 0")
+	}
+	// Single point at the median of a uniform law: D = 0.5.
+	d := KSDistance([]float64{0.5}, func(x float64) float64 { return x })
+	if math.Abs(d-0.5) > 1e-12 {
+		t.Errorf("single-point KS = %g, want 0.5", d)
+	}
+}
+
+func TestZMCDFBounds(t *testing.T) {
+	z := PaperZM(1024)
+	if z.CDF(0.5) != 0 {
+		t.Error("CDF below support != 0")
+	}
+	if z.CDF(2048) != 1 {
+		t.Error("CDF above support != 1")
+	}
+	if c := z.CDF(32); c <= 0 || c >= 1 {
+		t.Errorf("interior CDF = %g", c)
+	}
+	// monotone
+	prev := 0.0
+	for x := 1.0; x <= 1024; x *= 2 {
+		c := z.CDF(x)
+		if c < prev {
+			t.Fatalf("CDF not monotone at %g", x)
+		}
+		prev = c
+	}
+}
+
+func TestHillAgreesWithZMFitOnTelescopeLikeData(t *testing.T) {
+	// Cross-validation of the two estimators on ZM data: the Hill tail
+	// index and the binned ZM fit must agree on the exponent within
+	// estimator tolerances (delta shifts the head, not the tail).
+	rng := rand.New(rand.NewSource(4))
+	z := PaperZM(1 << 22)
+	vals := make([]float64, 100000)
+	for i := range vals {
+		vals[i] = z.Sample(rng)
+	}
+	hill, err := HillEstimator(vals, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zmAlpha, _, _ := FitZipfMandelbrot(LogBin(vals), z.DMax)
+	if math.Abs(hill-zmAlpha) > 0.35 {
+		t.Errorf("Hill %g vs ZM fit %g disagree", hill, zmAlpha)
+	}
+}

@@ -1,0 +1,150 @@
+package stats
+
+import "math"
+
+// temporal.go implements the three temporal-correlation models of the
+// paper's Figure 5 and the fitting procedure used throughout Figures
+// 5-8: candidate curves are normalized to the peak of the data and the
+// parameters minimizing the ‖·‖½ norm of the residual are selected.
+
+// TemporalModel is a normalized correlation-decay shape: Eval(0) == 1 and
+// Eval decreases with |dt| (dt measured in months in the paper).
+type TemporalModel interface {
+	Name() string
+	Eval(dt float64) float64
+}
+
+// ModifiedCauchy is the paper's f(t) ∝ β/(β + |t-t0|^α).
+type ModifiedCauchy struct {
+	Alpha float64 // exponent α > 0
+	Beta  float64 // scale β > 0
+}
+
+// Name implements TemporalModel.
+func (m ModifiedCauchy) Name() string { return "modified-cauchy" }
+
+// Eval implements TemporalModel.
+func (m ModifiedCauchy) Eval(dt float64) float64 {
+	return m.Beta / (m.Beta + math.Pow(math.Abs(dt), m.Alpha))
+}
+
+// OneMonthDrop returns 1/(β+1), the relative drop from the peak after one
+// month, the quantity of the paper's Figure 8.
+func (m ModifiedCauchy) OneMonthDrop() float64 { return 1 / (m.Beta + 1) }
+
+// Cauchy is the standard Cauchy (Lorentzian) shape γ²/(γ² + dt²), the
+// α = 2, β = γ² special case of ModifiedCauchy.
+type Cauchy struct {
+	Gamma float64
+}
+
+// Name implements TemporalModel.
+func (c Cauchy) Name() string { return "cauchy" }
+
+// Eval implements TemporalModel.
+func (c Cauchy) Eval(dt float64) float64 {
+	g2 := c.Gamma * c.Gamma
+	return g2 / (g2 + dt*dt)
+}
+
+// Gaussian is the normal shape exp(-dt² / 2σ²).
+type Gaussian struct {
+	Sigma float64
+}
+
+// Name implements TemporalModel.
+func (g Gaussian) Name() string { return "gaussian" }
+
+// Eval implements TemporalModel.
+func (g Gaussian) Eval(dt float64) float64 {
+	return math.Exp(-dt * dt / (2 * g.Sigma * g.Sigma))
+}
+
+// TemporalFit is the result of fitting a model to a correlation series.
+type TemporalFit struct {
+	Model    TemporalModel
+	Peak     float64 // normalization: the maximum of the data series
+	Residual float64 // ‖data - peak·model‖½
+}
+
+// Curve evaluates the fitted (denormalized) model at each dt.
+func (f TemporalFit) Curve(dts []float64) []float64 {
+	out := make([]float64, len(dts))
+	for i, dt := range dts {
+		out[i] = f.Peak * f.Model.Eval(dt)
+	}
+	return out
+}
+
+func peakOf(values []float64) float64 {
+	p := 0.0
+	for _, v := range values {
+		if v > p {
+			p = v
+		}
+	}
+	return p
+}
+
+func residualFor(dts, values []float64, peak float64, m TemporalModel) float64 {
+	model := make([]float64, len(dts))
+	for i, dt := range dts {
+		model[i] = peak * m.Eval(dt)
+	}
+	return HalfNorm(Residuals(values, model))
+}
+
+// FitModifiedCauchy fits α and β by grid search, normalizing the model to
+// the data peak per the paper. dts are the time offsets t - t0 (months),
+// values the measured correlation fractions.
+func FitModifiedCauchy(dts, values []float64) TemporalFit {
+	return FitModifiedCauchyNorm(dts, values, 0.5)
+}
+
+// FitModifiedCauchyNorm is FitModifiedCauchy under an arbitrary fitting
+// p-norm; the paper uses p = 1/2, and the A2 ablation compares against
+// p = 1 and p = 2.
+func FitModifiedCauchyNorm(dts, values []float64, p float64) TemporalFit {
+	peak := peakOf(values)
+	loss := func(a, b float64) float64 {
+		model := make([]float64, len(dts))
+		mc := ModifiedCauchy{Alpha: a, Beta: b}
+		for i, dt := range dts {
+			model[i] = peak * mc.Eval(dt)
+		}
+		return PNorm(Residuals(values, model), p)
+	}
+	a, b, r := GridSearch2(
+		Range{Lo: 0.05, Hi: 2.0},
+		Range{Lo: 0.01, Hi: 100.0, Log: true},
+		50, loss)
+	return TemporalFit{Model: ModifiedCauchy{Alpha: a, Beta: b}, Peak: peak, Residual: r}
+}
+
+// FitCauchy fits the standard Cauchy scale γ.
+func FitCauchy(dts, values []float64) TemporalFit {
+	peak := peakOf(values)
+	g, r := GridSearch1(Range{Lo: 0.05, Hi: 50, Log: true}, 200, func(g float64) float64 {
+		return residualFor(dts, values, peak, Cauchy{Gamma: g})
+	})
+	return TemporalFit{Model: Cauchy{Gamma: g}, Peak: peak, Residual: r}
+}
+
+// FitGaussian fits the normal width σ.
+func FitGaussian(dts, values []float64) TemporalFit {
+	peak := peakOf(values)
+	s, r := GridSearch1(Range{Lo: 0.05, Hi: 50, Log: true}, 200, func(s float64) float64 {
+		return residualFor(dts, values, peak, Gaussian{Sigma: s})
+	})
+	return TemporalFit{Model: Gaussian{Sigma: s}, Peak: peak, Residual: r}
+}
+
+// FitAllTemporal fits all three model families (the comparison of the
+// paper's Figure 5) and returns them keyed by model name.
+func FitAllTemporal(dts, values []float64) map[string]TemporalFit {
+	return map[string]TemporalFit{
+		"modified-cauchy": FitModifiedCauchy(dts, values),
+		"cauchy":          FitCauchy(dts, values),
+		"gaussian":        FitGaussian(dts, values),
+	}
+}

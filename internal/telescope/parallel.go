@@ -1,0 +1,91 @@
+package telescope
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/hypersparse"
+	"repro/internal/ipaddr"
+	"repro/internal/pcap"
+)
+
+// parallel.go implements the multi-worker window build. The serial
+// CaptureWindow interleaves packet parsing, CryptoPAN (32 AES blocks per
+// new address), and leaf assembly on one goroutine; here the stream is
+// read and filtered by the caller's goroutine while a worker pool
+// anonymizes and builds leaf matrices, which the hierarchical merge then
+// combines. The result is identical to the serial build (the matrix is
+// a sum of the same triples; only leaf boundaries differ).
+
+// addrPair is one valid packet reduced to its matrix coordinates.
+type addrPair struct{ src, dst uint32 }
+
+// CaptureWindowParallel is CaptureWindow with a worker pool. workers <= 0
+// uses GOMAXPROCS. The anonymization cache is shared and concurrency
+// safe, so repeated addresses cost one AES walk regardless of worker
+// count.
+func (t *Telescope) CaptureWindowParallel(src PacketSource, nv, workers int) (*Window, error) {
+	if nv <= 0 {
+		return nil, fmt.Errorf("telescope: window size must be positive, got %d", nv)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	batches := make(chan []addrPair, workers*2)
+	var mu sync.Mutex
+	var leaves []*hypersparse.Matrix
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for batch := range batches {
+				b := hypersparse.NewBuilder(len(batch))
+				for _, p := range batch {
+					arow := t.anon.Anonymize(ipaddr.Addr(p.src))
+					acol := t.anon.Anonymize(ipaddr.Addr(p.dst))
+					b.Add(uint32(arow), uint32(acol), 1)
+				}
+				leaf := b.Build()
+				mu.Lock()
+				leaves = append(leaves, leaf)
+				mu.Unlock()
+			}
+		}()
+	}
+
+	w := &Window{}
+	batch := make([]addrPair, 0, t.leafSize)
+	var pkt pcap.Packet
+	for w.NV < nv && src.Next(&pkt) {
+		if !t.Valid(&pkt) {
+			w.Dropped++
+			continue
+		}
+		if w.NV == 0 {
+			w.Start = pkt.Time
+		}
+		w.End = pkt.Time
+		batch = append(batch, addrPair{uint32(pkt.Src), uint32(pkt.Dst)})
+		w.NV++
+		if len(batch) == t.leafSize {
+			batches <- batch
+			batch = make([]addrPair, 0, t.leafSize)
+		}
+	}
+	if len(batch) > 0 {
+		batches <- batch
+	}
+	close(batches)
+	wg.Wait()
+
+	w.Leaves = len(leaves)
+	w.Matrix = hypersparse.HierSum(leaves, t.workers)
+	// Invalidate the memoized reverse table: capture grew the cache.
+	t.revCache = nil
+	if rs, ok := src.(*ReaderSource); ok && rs.Err != nil {
+		return nil, rs.Err
+	}
+	return w, nil
+}

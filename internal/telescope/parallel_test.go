@@ -1,0 +1,115 @@
+package telescope
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/hypersparse"
+	"repro/internal/radiation"
+)
+
+func TestParallelMatchesSerial(t *testing.T) {
+	pop := testPopulation(t, 3000)
+	const nv = 4096
+	serial := New(pop.Config().Darkspace, "same-key", WithLeafSize(256))
+	ws, err := serial.CaptureWindow(pop.TelescopeStream(4, time.Unix(0, 0)), nv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		par := New(pop.Config().Darkspace, "same-key", WithLeafSize(256))
+		wp, err := par.CaptureWindowParallel(pop.TelescopeStream(4, time.Unix(0, 0)), nv, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wp.NV != ws.NV || wp.Dropped != ws.Dropped {
+			t.Fatalf("workers=%d: NV/Dropped %d/%d vs serial %d/%d",
+				workers, wp.NV, wp.Dropped, ws.NV, ws.Dropped)
+		}
+		if !hypersparse.Equal(wp.Matrix, ws.Matrix) {
+			t.Fatalf("workers=%d: parallel matrix differs from serial", workers)
+		}
+		if !wp.Start.Equal(ws.Start) || !wp.End.Equal(ws.End) {
+			t.Fatalf("workers=%d: window bounds differ", workers)
+		}
+	}
+}
+
+func TestParallelSourceTableMatches(t *testing.T) {
+	pop := testPopulation(t, 1000)
+	tel := New(pop.Config().Darkspace, "table-key")
+	w, err := tel.CaptureWindowParallel(pop.TelescopeStream(4, time.Unix(0, 0)), 2048, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := tel.SourceTable(w)
+	if table.NRows() != w.Matrix.NRows() {
+		t.Fatalf("table rows %d != matrix rows %d (reverse cache stale?)",
+			table.NRows(), w.Matrix.NRows())
+	}
+	var sum float64
+	for _, row := range table.RowKeys() {
+		v, _ := table.Get(row, "packets")
+		sum += v.Num
+	}
+	if sum != float64(w.NV) {
+		t.Errorf("table total %g != NV %d", sum, w.NV)
+	}
+}
+
+func TestParallelRejectsBadNV(t *testing.T) {
+	tel := New(radiation.DefaultConfig().Darkspace, "bad")
+	if _, err := tel.CaptureWindowParallel(nil, 0, 4); err == nil {
+		t.Error("NV=0 accepted")
+	}
+}
+
+func TestParallelShortStream(t *testing.T) {
+	pop := testPopulation(t, 200)
+	tel := New(pop.Config().Darkspace, "short-par")
+	w, err := tel.CaptureWindowParallel(pop.TelescopeStream(4, time.Unix(0, 0)), 1<<30, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.NV == 0 {
+		t.Fatal("captured nothing")
+	}
+	if w.Matrix.Sum() != float64(w.NV) {
+		t.Error("NV not conserved on short stream")
+	}
+}
+
+func BenchmarkCaptureSerial(b *testing.B) {
+	benchCapture(b, func(tel *Telescope, src PacketSource, nv int) (*Window, error) {
+		return tel.CaptureWindow(src, nv)
+	})
+}
+
+func BenchmarkCaptureParallel(b *testing.B) {
+	benchCapture(b, func(tel *Telescope, src PacketSource, nv int) (*Window, error) {
+		return tel.CaptureWindowParallel(src, nv, 0)
+	})
+}
+
+func benchCapture(b *testing.B, capture func(*Telescope, PacketSource, int) (*Window, error)) {
+	b.Helper()
+	c := radiation.DefaultConfig()
+	c.NumSources = 50000
+	pop, err := radiation.NewPopulation(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const nv = 1 << 16
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tel := New(c.Darkspace, "bench-key", WithLeafSize(1<<12))
+		w, err := capture(tel, pop.TelescopeStream(4.5, time.Unix(0, 0)), nv)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if w.NV != nv {
+			b.Fatalf("short window %d", w.NV)
+		}
+	}
+}

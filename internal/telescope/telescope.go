@@ -1,0 +1,224 @@
+// Package telescope implements a CAIDA-style darkspace observatory: it
+// consumes a raw packet stream, discards traffic that is not valid
+// unsolicited darkspace traffic, cuts constant-packet windows of NV
+// valid packets, and assembles each window into a CryptoPAN-anonymized
+// GraphBLAS hypersparse traffic matrix by hierarchically summing leaf
+// matrices (the paper's 2^17-packet leaves under a 2^30-packet window).
+//
+// Because the monitored prefix is a darkspace, only the external →
+// internal quadrant of the traffic matrix is ever populated (Figure 1 of
+// the paper): rows are external sources, columns are darkspace
+// destinations.
+package telescope
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/assoc"
+	"repro/internal/cryptopan"
+	"repro/internal/hypersparse"
+	"repro/internal/ipaddr"
+	"repro/internal/pcap"
+)
+
+// PacketSource yields packets in time order; Next returns false when the
+// stream is exhausted.
+type PacketSource interface {
+	Next(*pcap.Packet) bool
+}
+
+// ReaderSource adapts a pcap.Reader to the PacketSource interface.
+type ReaderSource struct {
+	R   *pcap.Reader
+	Err error // first non-EOF error, if any
+}
+
+// Next implements PacketSource.
+func (rs *ReaderSource) Next(p *pcap.Packet) bool {
+	err := rs.R.ReadPacket(p)
+	if err == nil {
+		return true
+	}
+	if err != io.EOF {
+		rs.Err = err
+	}
+	return false
+}
+
+// Telescope holds the observatory configuration. Construct with New.
+type Telescope struct {
+	darkspace ipaddr.Prefix
+	leafSize  int
+	workers   int
+	anon      *cryptopan.Cached
+
+	revCache map[ipaddr.Addr]ipaddr.Addr // memoized inverse mapping
+	revSize  int                         // anon.Len() when revCache was built
+}
+
+// Option configures a Telescope.
+type Option func(*Telescope)
+
+// WithLeafSize sets the leaf window size for hierarchical matrix
+// assembly (the paper uses 2^17; the default here is 2^14 for
+// laptop-scale windows).
+func WithLeafSize(n int) Option { return func(t *Telescope) { t.leafSize = n } }
+
+// WithWorkers sets the merge parallelism (default: GOMAXPROCS).
+func WithWorkers(n int) Option { return func(t *Telescope) { t.workers = n } }
+
+// New creates a Telescope monitoring the given darkspace, anonymizing
+// with the given passphrase-derived CryptoPAN key.
+func New(darkspace ipaddr.Prefix, anonPassphrase string, opts ...Option) *Telescope {
+	t := &Telescope{
+		darkspace: darkspace,
+		leafSize:  1 << 14,
+		anon:      cryptopan.NewCached(cryptopan.NewFromPassphrase(anonPassphrase)),
+	}
+	for _, o := range opts {
+		o(t)
+	}
+	return t
+}
+
+// Darkspace returns the monitored prefix.
+func (t *Telescope) Darkspace() ipaddr.Prefix { return t.darkspace }
+
+// Valid implements the paper's validity filter: the packet must be
+// destined to the darkspace (external → internal quadrant) and must not
+// carry an un-routable source (bogons and darkspace-internal sources are
+// the "small amount of legitimate traffic" analog that gets discarded).
+func (t *Telescope) Valid(p *pcap.Packet) bool {
+	return t.darkspace.Contains(p.Dst) &&
+		!t.darkspace.Contains(p.Src) &&
+		!ipaddr.IsPrivate(p.Src)
+}
+
+// Window is one constant-packet sample: an anonymized traffic matrix of
+// exactly NV valid packets (fewer only if the stream ran out).
+type Window struct {
+	Start, End time.Time
+	NV         int // valid packets in the matrix
+	Dropped    int // packets discarded by the validity filter
+	Matrix     *hypersparse.Matrix
+	Leaves     int // leaf matrices hierarchically summed
+}
+
+// Duration returns the wall-clock span of the window; constant-packet
+// windows have variable duration (Table I's "CAIDA Duration" column).
+func (w *Window) Duration() time.Duration { return w.End.Sub(w.Start) }
+
+// CaptureWindow reads from src until nv valid packets are collected (or
+// the stream ends) and assembles the anonymized window matrix. The
+// number of packets in the matrix equals the number accepted: NV is
+// conserved through anonymization and hierarchical assembly.
+func (t *Telescope) CaptureWindow(src PacketSource, nv int) (*Window, error) {
+	if nv <= 0 {
+		return nil, fmt.Errorf("telescope: window size must be positive, got %d", nv)
+	}
+	acc := hypersparse.NewAccumulator(t.leafSize, t.workers)
+	w := &Window{}
+	var pkt pcap.Packet
+	for w.NV < nv && src.Next(&pkt) {
+		if !t.Valid(&pkt) {
+			w.Dropped++
+			continue
+		}
+		if w.NV == 0 {
+			w.Start = pkt.Time
+		}
+		w.End = pkt.Time
+		arow := t.anon.Anonymize(pkt.Src)
+		acol := t.anon.Anonymize(pkt.Dst)
+		acc.Add(uint32(arow), uint32(acol), 1)
+		w.NV++
+	}
+	w.Leaves = acc.Leaves()
+	if w.NV%t.leafSize != 0 {
+		w.Leaves++ // partial tail leaf
+	}
+	w.Matrix = acc.Finish()
+	if rs, ok := src.(*ReaderSource); ok && rs.Err != nil {
+		return nil, rs.Err
+	}
+	return w, nil
+}
+
+// CaptureTimeWindow is the constant-time alternative (ablation A3): it
+// accepts valid packets until the stream's clock passes start+span.
+// Constant-time windows have variable NV, which the paper argues makes
+// heavy-tail statistics harder to compare across windows.
+func (t *Telescope) CaptureTimeWindow(src PacketSource, span time.Duration) (*Window, error) {
+	acc := hypersparse.NewAccumulator(t.leafSize, t.workers)
+	w := &Window{}
+	var pkt pcap.Packet
+	for src.Next(&pkt) {
+		if !t.Valid(&pkt) {
+			w.Dropped++
+			continue
+		}
+		if w.NV == 0 {
+			w.Start = pkt.Time
+		}
+		if w.NV > 0 && pkt.Time.Sub(w.Start) > span {
+			break
+		}
+		w.End = pkt.Time
+		arow := t.anon.Anonymize(pkt.Src)
+		acol := t.anon.Anonymize(pkt.Dst)
+		acc.Add(uint32(arow), uint32(acol), 1)
+		w.NV++
+	}
+	w.Leaves = acc.Leaves()
+	w.Matrix = acc.Finish()
+	if rs, ok := src.(*ReaderSource); ok && rs.Err != nil {
+		return nil, rs.Err
+	}
+	return w, nil
+}
+
+// SourcePackets returns the anonymized per-source packet counts A·1 of
+// the window.
+func (w *Window) SourcePackets() *hypersparse.Vector { return w.Matrix.RowSums() }
+
+// Deanonymize maps an anonymized address back to the original, using the
+// telescope's own anonymization table. This is the paper's correlation
+// approach 1: "anonymized data can be sent back to the sources for
+// deanonymization" — the telescope operator holds the mapping.
+func (t *Telescope) Deanonymize(a ipaddr.Addr) (ipaddr.Addr, bool) {
+	orig, ok := t.reverse()[a]
+	return orig, ok
+}
+
+// reverse materializes the anonymization table's inverse, memoized until
+// further capture grows the table. Not safe for use concurrently with
+// CaptureWindow.
+func (t *Telescope) reverse() map[ipaddr.Addr]ipaddr.Addr {
+	if n := t.anon.Len(); t.revCache == nil || t.revSize != n {
+		t.revCache = t.anon.Reverse()
+		t.revSize = n
+	}
+	return t.revCache
+}
+
+// SourceTable converts a window's reduced source-packet vector into a
+// D4M associative array keyed by the original dotted-quad source
+// address, with the packet count under column "packets". This is the
+// boundary where, as in the paper, "the reduced results are converted to
+// D4M associative arrays" for correlation against the honeyfarm.
+func (t *Telescope) SourceTable(w *Window) *assoc.Assoc {
+	rev := t.reverse()
+	out := assoc.New()
+	w.SourcePackets().Iterate(func(id uint32, packets float64) bool {
+		orig, ok := rev[ipaddr.Addr(id)]
+		if !ok {
+			// Cannot happen for matrices built by this telescope.
+			return true
+		}
+		out.Set(orig.String(), "packets", assoc.Num(packets))
+		return true
+	})
+	return out
+}

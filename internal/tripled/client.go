@@ -1,0 +1,211 @@
+package tripled
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+
+	"repro/internal/assoc"
+)
+
+// Client is a connection to a tripled server. Not safe for concurrent
+// use; open one client per goroutine (the server handles each
+// connection independently).
+type Client struct {
+	conn net.Conn
+	r    *bufio.Scanner
+	w    *bufio.Writer
+}
+
+// Dial connects to a tripled server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	return &Client{conn: conn, r: sc, w: bufio.NewWriter(conn)}, nil
+}
+
+// Close sends QUIT and closes the connection.
+func (c *Client) Close() error {
+	// Best effort: the server closes on QUIT anyway.
+	fmt.Fprintln(c.w, "QUIT")
+	c.w.Flush()
+	return c.conn.Close()
+}
+
+func (c *Client) roundTrip(line string) (string, error) {
+	if strings.ContainsAny(line, "\n") {
+		return "", fmt.Errorf("tripled: request contains newline")
+	}
+	if _, err := fmt.Fprintln(c.w, line); err != nil {
+		return "", err
+	}
+	if err := c.w.Flush(); err != nil {
+		return "", err
+	}
+	if !c.r.Scan() {
+		if err := c.r.Err(); err != nil {
+			return "", err
+		}
+		return "", fmt.Errorf("tripled: connection closed")
+	}
+	return c.r.Text(), nil
+}
+
+func (c *Client) expectOK(resp string) error {
+	switch {
+	case resp == "OK" || strings.HasPrefix(resp, "OK "):
+		return nil
+	case resp == "NF":
+		return ErrNotFound
+	case strings.HasPrefix(resp, "ERR "):
+		return fmt.Errorf("tripled: server: %s", resp[4:])
+	default:
+		return fmt.Errorf("tripled: unexpected response %q", resp)
+	}
+}
+
+// Put stores a value.
+func (c *Client) Put(row, col string, v assoc.Value) error {
+	marker := "s"
+	if v.Numeric {
+		marker = "n"
+	}
+	resp, err := c.roundTrip(fmt.Sprintf("PUT\t%s\t%s\t%s\t%s", row, col, marker, v.String()))
+	if err != nil {
+		return err
+	}
+	return c.expectOK(resp)
+}
+
+// Get fetches a value; ErrNotFound when absent.
+func (c *Client) Get(row, col string) (assoc.Value, error) {
+	resp, err := c.roundTrip(fmt.Sprintf("GET\t%s\t%s", row, col))
+	if err != nil {
+		return assoc.Value{}, err
+	}
+	if err := c.expectOK(resp); err != nil {
+		return assoc.Value{}, err
+	}
+	payload := strings.TrimPrefix(resp, "OK ")
+	parts := strings.SplitN(payload, "\t", 2)
+	if len(parts) != 2 {
+		return assoc.Value{}, fmt.Errorf("tripled: malformed GET payload %q", payload)
+	}
+	return parseValue(parts[0], parts[1])
+}
+
+// Delete removes a cell; ErrNotFound when absent.
+func (c *Client) Delete(row, col string) error {
+	resp, err := c.roundTrip(fmt.Sprintf("DEL\t%s\t%s", row, col))
+	if err != nil {
+		return err
+	}
+	return c.expectOK(resp)
+}
+
+// NNZ returns the server-side cell count.
+func (c *Client) NNZ() (int, error) {
+	resp, err := c.roundTrip("NNZ")
+	if err != nil {
+		return 0, err
+	}
+	if err := c.expectOK(resp); err != nil {
+		return 0, err
+	}
+	return strconv.Atoi(strings.TrimPrefix(resp, "OK "))
+}
+
+func (c *Client) readBlock(first string) ([]string, error) {
+	if strings.HasPrefix(first, "ERR ") {
+		return nil, fmt.Errorf("tripled: server: %s", first[4:])
+	}
+	if !strings.HasPrefix(first, "BLOCK ") {
+		return nil, fmt.Errorf("tripled: expected BLOCK, got %q", first)
+	}
+	n, err := strconv.Atoi(strings.TrimPrefix(first, "BLOCK "))
+	if err != nil || n < 0 {
+		return nil, fmt.Errorf("tripled: bad block header %q", first)
+	}
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		if !c.r.Scan() {
+			return nil, fmt.Errorf("tripled: truncated block (%d of %d lines)", i, n)
+		}
+		out = append(out, c.r.Text())
+	}
+	return out, nil
+}
+
+func (c *Client) cellsQuery(verb, key string) (map[string]assoc.Value, error) {
+	resp, err := c.roundTrip(verb + "\t" + key)
+	if err != nil {
+		return nil, err
+	}
+	lines, err := c.readBlock(resp)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]assoc.Value, len(lines))
+	for _, line := range lines {
+		parts := strings.SplitN(line, "\t", 3)
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("tripled: malformed cell line %q", line)
+		}
+		v, err := parseValue(parts[1], parts[2])
+		if err != nil {
+			return nil, err
+		}
+		out[parts[0]] = v
+	}
+	return out, nil
+}
+
+// Row fetches all cells of a row.
+func (c *Client) Row(row string) (map[string]assoc.Value, error) {
+	return c.cellsQuery("ROW", row)
+}
+
+// Col fetches all cells of a column via the server's transpose index.
+func (c *Client) Col(col string) (map[string]assoc.Value, error) {
+	return c.cellsQuery("COL", col)
+}
+
+// RowRange lists row keys in [start, end); empty end means unbounded.
+func (c *Client) RowRange(start, end string) ([]string, error) {
+	resp, err := c.roundTrip(fmt.Sprintf("RANGE\t%s\t%s", start, end))
+	if err != nil {
+		return nil, err
+	}
+	return c.readBlock(resp)
+}
+
+// TopRowsByDegree queries the server's degree table.
+func (c *Client) TopRowsByDegree(k int) ([]RowDegree, error) {
+	resp, err := c.roundTrip(fmt.Sprintf("TOPDEG\t%d", k))
+	if err != nil {
+		return nil, err
+	}
+	lines, err := c.readBlock(resp)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]RowDegree, 0, len(lines))
+	for _, line := range lines {
+		parts := strings.SplitN(line, "\t", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("tripled: malformed degree line %q", line)
+		}
+		d, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, RowDegree{Row: parts[0], Degree: d})
+	}
+	return out, nil
+}

@@ -1,0 +1,212 @@
+package tripled
+
+// server.go exposes a Store over a line-oriented TCP protocol, the role
+// the Accumulo service plays in the paper's deployment. The protocol is
+// deliberately simple — one request line, one response line (or a
+// counted block) — so a client in any language can drive it.
+//
+// Requests (tab-separated):
+//
+//	PUT <row> <col> <n|s> <value>
+//	GET <row> <col>
+//	DEL <row> <col>
+//	ROW <row>              -> block of col/value pairs
+//	COL <col>              -> block of row/value pairs
+//	RANGE <start> <end>    -> block of row keys ("" end = unbounded)
+//	TOPDEG <k>             -> block of row/degree pairs
+//	NNZ
+//	QUIT
+//
+// Responses: "OK", "OK <payload>", "NF" (not found), "ERR <msg>", or
+// "BLOCK <n>" followed by n data lines.
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/assoc"
+)
+
+// Server serves a Store over TCP.
+type Server struct {
+	store *Store
+	ln    net.Listener
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// Serve starts listening on addr (e.g. "127.0.0.1:0") and serving
+// connections until Close.
+func Serve(store *Store, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{store: store, ln: ln}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and waits for in-flight connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	w := bufio.NewWriter(conn)
+	defer w.Flush()
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if done := s.handle(w, line); done {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// handle processes one request line; returns true when the connection
+// should close.
+func (s *Server) handle(w *bufio.Writer, line string) bool {
+	parts := strings.Split(line, "\t")
+	cmd := strings.ToUpper(parts[0])
+	switch cmd {
+	case "QUIT":
+		fmt.Fprintln(w, "OK")
+		return true
+	case "NNZ":
+		fmt.Fprintf(w, "OK %d\n", s.store.NNZ())
+	case "PUT":
+		if len(parts) != 5 {
+			fmt.Fprintln(w, "ERR PUT wants 4 arguments")
+			return false
+		}
+		v, err := parseValue(parts[3], parts[4])
+		if err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return false
+		}
+		s.store.Put(parts[1], parts[2], v)
+		fmt.Fprintln(w, "OK")
+	case "GET":
+		if len(parts) != 3 {
+			fmt.Fprintln(w, "ERR GET wants 2 arguments")
+			return false
+		}
+		v, ok := s.store.Get(parts[1], parts[2])
+		if !ok {
+			fmt.Fprintln(w, "NF")
+			return false
+		}
+		marker := "s"
+		if v.Numeric {
+			marker = "n"
+		}
+		fmt.Fprintf(w, "OK %s\t%s\n", marker, v.String())
+	case "DEL":
+		if len(parts) != 3 {
+			fmt.Fprintln(w, "ERR DEL wants 2 arguments")
+			return false
+		}
+		if s.store.Delete(parts[1], parts[2]) {
+			fmt.Fprintln(w, "OK")
+		} else {
+			fmt.Fprintln(w, "NF")
+		}
+	case "ROW", "COL":
+		if len(parts) != 2 {
+			fmt.Fprintf(w, "ERR %s wants 1 argument\n", cmd)
+			return false
+		}
+		var cells map[string]assoc.Value
+		if cmd == "ROW" {
+			cells = s.store.Row(parts[1])
+		} else {
+			cells = s.store.Col(parts[1])
+		}
+		keys := make([]string, 0, len(cells))
+		for k := range cells {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprintf(w, "BLOCK %d\n", len(keys))
+		for _, k := range keys {
+			v := cells[k]
+			marker := "s"
+			if v.Numeric {
+				marker = "n"
+			}
+			fmt.Fprintf(w, "%s\t%s\t%s\n", k, marker, v.String())
+		}
+	case "RANGE":
+		if len(parts) != 3 {
+			fmt.Fprintln(w, "ERR RANGE wants 2 arguments")
+			return false
+		}
+		rows := s.store.RowRange(parts[1], parts[2])
+		fmt.Fprintf(w, "BLOCK %d\n", len(rows))
+		for _, r := range rows {
+			fmt.Fprintln(w, r)
+		}
+	case "TOPDEG":
+		if len(parts) != 2 {
+			fmt.Fprintln(w, "ERR TOPDEG wants 1 argument")
+			return false
+		}
+		k, err := strconv.Atoi(parts[1])
+		if err != nil || k < 0 {
+			fmt.Fprintln(w, "ERR bad k")
+			return false
+		}
+		top := s.store.TopRowsByDegree(k)
+		fmt.Fprintf(w, "BLOCK %d\n", len(top))
+		for _, rd := range top {
+			fmt.Fprintf(w, "%s\t%d\n", rd.Row, rd.Degree)
+		}
+	default:
+		fmt.Fprintf(w, "ERR unknown command %q\n", cmd)
+	}
+	return false
+}
+
+// ErrNotFound is returned by client lookups of absent cells.
+var ErrNotFound = errors.New("tripled: not found")

@@ -1,0 +1,309 @@
+// Package tripled implements the database substrate behind D4M
+// associative arrays: a triple store with the "D4M schema" used by the
+// paper's pipeline (Accumulo at the MIT SuperCloud) — the table is kept
+// in both row-major and column-major (transpose) indexes so row and
+// column lookups are both O(result), and incremental degree tables track
+// per-row and per-column cell counts, the trick that makes "top-K
+// heaviest sources" queries cheap at honeyfarm scale.
+//
+// The store is in-memory with an append-only change log for
+// persistence, and package server.go exposes it over a line-oriented
+// TCP protocol.
+package tripled
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/assoc"
+)
+
+// Store is a concurrency-safe triple store. The zero value is not
+// usable; call NewStore.
+type Store struct {
+	mu      sync.RWMutex
+	rows    map[string]map[string]assoc.Value // row -> col -> value
+	cols    map[string]map[string]assoc.Value // col -> row -> value (transpose index)
+	rowDeg  map[string]int                    // degree table: cells per row
+	colDeg  map[string]int                    // degree table: cells per column
+	nnz     int
+	version uint64 // bumped on every mutation
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{
+		rows:   make(map[string]map[string]assoc.Value),
+		cols:   make(map[string]map[string]assoc.Value),
+		rowDeg: make(map[string]int),
+		colDeg: make(map[string]int),
+	}
+}
+
+// Put stores v at (row, col), replacing any existing value.
+func (s *Store) Put(row, col string, v assoc.Value) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.putLocked(row, col, v)
+}
+
+func (s *Store) putLocked(row, col string, v assoc.Value) {
+	r, ok := s.rows[row]
+	if !ok {
+		r = make(map[string]assoc.Value)
+		s.rows[row] = r
+	}
+	if _, exists := r[col]; !exists {
+		s.nnz++
+		s.rowDeg[row]++
+		s.colDeg[col]++
+	}
+	r[col] = v
+
+	c, ok := s.cols[col]
+	if !ok {
+		c = make(map[string]assoc.Value)
+		s.cols[col] = c
+	}
+	c[row] = v
+	s.version++
+}
+
+// Get returns the value at (row, col).
+func (s *Store) Get(row, col string) (assoc.Value, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.rows[row][col]
+	return v, ok
+}
+
+// Delete removes the cell if present and reports whether it existed.
+func (s *Store) Delete(row, col string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.rows[row]
+	if !ok {
+		return false
+	}
+	if _, exists := r[col]; !exists {
+		return false
+	}
+	delete(r, col)
+	if len(r) == 0 {
+		delete(s.rows, row)
+	}
+	c := s.cols[col]
+	delete(c, row)
+	if len(c) == 0 {
+		delete(s.cols, col)
+	}
+	s.nnz--
+	if s.rowDeg[row]--; s.rowDeg[row] == 0 {
+		delete(s.rowDeg, row)
+	}
+	if s.colDeg[col]--; s.colDeg[col] == 0 {
+		delete(s.colDeg, col)
+	}
+	s.version++
+	return true
+}
+
+// NNZ returns the number of stored cells.
+func (s *Store) NNZ() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.nnz
+}
+
+// Row returns a copy of one row (nil if absent).
+func (s *Store) Row(row string) map[string]assoc.Value {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r, ok := s.rows[row]
+	if !ok {
+		return nil
+	}
+	out := make(map[string]assoc.Value, len(r))
+	for c, v := range r {
+		out[c] = v
+	}
+	return out
+}
+
+// Col returns a copy of one column via the transpose index.
+func (s *Store) Col(col string) map[string]assoc.Value {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, ok := s.cols[col]
+	if !ok {
+		return nil
+	}
+	out := make(map[string]assoc.Value, len(c))
+	for r, v := range c {
+		out[r] = v
+	}
+	return out
+}
+
+// RowRange returns the sorted row keys in [start, end). An empty end
+// means unbounded.
+func (s *Store) RowRange(start, end string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []string
+	for r := range s.rows {
+		if r >= start && (end == "" || r < end) {
+			out = append(out, r)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RowDegree returns the degree-table entry for a row (0 if absent).
+func (s *Store) RowDegree(row string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.rowDeg[row]
+}
+
+// ColDegree returns the degree-table entry for a column.
+func (s *Store) ColDegree(col string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.colDeg[col]
+}
+
+// TopRowsByDegree returns up to k (row, degree) pairs with the largest
+// degrees, ties broken lexicographically — the degree-table query D4M
+// deployments use to find the heaviest sources without scanning values.
+func (s *Store) TopRowsByDegree(k int) []RowDegree {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]RowDegree, 0, len(s.rowDeg))
+	for r, d := range s.rowDeg {
+		out = append(out, RowDegree{Row: r, Degree: d})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Degree != out[j].Degree {
+			return out[i].Degree > out[j].Degree
+		}
+		return out[i].Row < out[j].Row
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// RowDegree pairs a row key with its degree-table count.
+type RowDegree struct {
+	Row    string
+	Degree int
+}
+
+// LoadAssoc bulk-inserts an associative array.
+func (s *Store) LoadAssoc(a *assoc.Assoc) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a.Iterate(func(row, col string, v assoc.Value) bool {
+		s.putLocked(row, col, v)
+		return true
+	})
+}
+
+// ToAssoc exports the full table as an associative array.
+func (s *Store) ToAssoc() *assoc.Assoc {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := assoc.New()
+	for row, r := range s.rows {
+		for col, v := range r {
+			out.Set(row, col, v)
+		}
+	}
+	return out
+}
+
+// Version returns the mutation counter, for cache invalidation.
+func (s *Store) Version() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.version
+}
+
+// WriteLog appends the entire table to w as replayable PUT records (the
+// persistence format: one "P<TAB>row<TAB>col<TAB>type<TAB>value" line
+// per cell).
+func (s *Store) WriteLog(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	bw := bufio.NewWriter(w)
+	rows := make([]string, 0, len(s.rows))
+	for r := range s.rows {
+		rows = append(rows, r)
+	}
+	sort.Strings(rows)
+	for _, row := range rows {
+		cols := make([]string, 0, len(s.rows[row]))
+		for c := range s.rows[row] {
+			cols = append(cols, c)
+		}
+		sort.Strings(cols)
+		for _, col := range cols {
+			v := s.rows[row][col]
+			marker := "s"
+			if v.Numeric {
+				marker = "n"
+			}
+			if _, err := fmt.Fprintf(bw, "P\t%s\t%s\t%s\t%s\n", row, col, marker, v.String()); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReplayLog applies PUT records produced by WriteLog (or by a server
+// session log) to the store.
+func (s *Store) ReplayLog(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if text == "" {
+			continue
+		}
+		parts := strings.SplitN(text, "\t", 5)
+		if len(parts) != 5 || parts[0] != "P" {
+			return fmt.Errorf("tripled: log line %d malformed", line)
+		}
+		v, err := parseValue(parts[3], parts[4])
+		if err != nil {
+			return fmt.Errorf("tripled: log line %d: %w", line, err)
+		}
+		s.Put(parts[1], parts[2], v)
+	}
+	return sc.Err()
+}
+
+func parseValue(marker, raw string) (assoc.Value, error) {
+	switch marker {
+	case "n":
+		var f float64
+		if _, err := fmt.Sscanf(raw, "%g", &f); err != nil {
+			return assoc.Value{}, fmt.Errorf("bad number %q", raw)
+		}
+		return assoc.Num(f), nil
+	case "s":
+		return assoc.Str(raw), nil
+	default:
+		return assoc.Value{}, fmt.Errorf("unknown value marker %q", marker)
+	}
+}
