@@ -10,6 +10,8 @@ package repro
 // Run: go test -bench=. -benchmem
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"sync"
 	"testing"
@@ -215,6 +217,39 @@ func BenchmarkCaptureWindow(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(nv)*float64(b.N)/b.Elapsed().Seconds(), "pkts/s")
+}
+
+// BenchmarkEngineWindow compares window construction through the
+// sharded streaming engine across worker counts; workers=1 is the serial
+// degenerate path, so the subbenchmark ratios are the engine's speedup
+// curve. The cost covered is the full hot path: stream generation,
+// validity filter, CryptoPAN, leaf assembly, hierarchical merge.
+func BenchmarkEngineWindow(b *testing.B) {
+	cfg := radiation.DefaultConfig()
+	cfg.NumSources = 40000
+	cfg.ZM = stats.PaperZM(1 << 14)
+	pop, err := radiation.NewPopulation(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const nv = 1 << 16
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tel := telescope.New(cfg.Darkspace, "bench-key", telescope.WithLeafSize(1<<12))
+				w, err := tel.CaptureWindowEngine(context.Background(),
+					pop.TelescopeStream(4.5, time.Unix(0, 0)), nv, workers, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if w.NV != nv {
+					b.Fatalf("short window: %d", w.NV)
+				}
+			}
+			b.ReportMetric(float64(nv)*float64(b.N)/b.Elapsed().Seconds(), "pkts/s")
+		})
+	}
 }
 
 // BenchmarkHierarchicalSum (ablation A1) compares the log-depth parallel

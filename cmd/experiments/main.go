@@ -6,14 +6,17 @@
 // Usage:
 //
 //	experiments [-scale quick|default] [-nv N] [-sources N] [-seed N]
+//	            [-workers N] [-leaf-size N] [-batch N]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"math"
 	"os"
+	"os/signal"
 
 	"repro/internal/core"
 	"repro/internal/stats"
@@ -28,10 +31,13 @@ type check struct {
 
 func main() {
 	var (
-		scale   = flag.String("scale", "default", "preset: quick or default")
-		nv      = flag.Int("nv", 0, "override telescope window size NV")
-		sources = flag.Int("sources", 0, "override population size")
-		seed    = flag.Int64("seed", 0, "override random seed")
+		scale    = flag.String("scale", "default", "preset: quick or default")
+		nv       = flag.Int("nv", 0, "override telescope window size NV")
+		sources  = flag.Int("sources", 0, "override population size")
+		seed     = flag.Int64("seed", 0, "override random seed")
+		workers  = flag.Int("workers", 0, "engine shard workers (1 = serial, 0 = GOMAXPROCS)")
+		leafSize = flag.Int("leaf-size", 0, "override entries per hypersparse leaf matrix")
+		batch    = flag.Int("batch", 0, "packets per engine batch (0 = leaf size)")
 	)
 	flag.Parse()
 
@@ -48,13 +54,21 @@ func main() {
 	if *seed != 0 {
 		cfg.Radiation.Seed = *seed
 	}
+	cfg.Workers = *workers
+	if *leafSize > 0 {
+		cfg.LeafSize = *leafSize
+	}
+	cfg.Batch = *batch
 
 	pipe, err := core.New(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("running study (NV=%d, %d sources)...", cfg.NV, cfg.Radiation.NumSources)
-	res, err := pipe.Run()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	log.Printf("running study (NV=%d, %d sources, workers=%d)...",
+		cfg.NV, cfg.Radiation.NumSources, cfg.Workers)
+	res, err := pipe.RunContext(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,13 +7,16 @@
 // Usage:
 //
 //	telescope-sim [-nv N] [-sources N] [-seed N] [-month M] [-pcap FILE]
+//	              [-workers N] [-leaf-size N] [-batch N]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"time"
 
 	"repro/internal/netquant"
@@ -24,13 +27,19 @@ import (
 
 func main() {
 	var (
-		nv      = flag.Int("nv", 1<<18, "window size in valid packets")
-		sources = flag.Int("sources", 100000, "population size")
-		seed    = flag.Int64("seed", 1, "random seed")
-		month   = flag.Float64("month", 4.5, "beam month of the window")
-		file    = flag.String("pcap", "window.pcap", "capture file to write")
+		nv       = flag.Int("nv", 1<<18, "window size in valid packets")
+		sources  = flag.Int("sources", 100000, "population size")
+		seed     = flag.Int64("seed", 1, "random seed")
+		month    = flag.Float64("month", 4.5, "beam month of the window")
+		file     = flag.String("pcap", "window.pcap", "capture file to write")
+		workers  = flag.Int("workers", 0, "engine shard workers (1 = serial, 0 = GOMAXPROCS)")
+		leafSize = flag.Int("leaf-size", 1<<14, "entries per hypersparse leaf matrix")
+		batch    = flag.Int("batch", 0, "packets per engine batch (0 = leaf size)")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	cfg := radiation.DefaultConfig()
 	cfg.Seed = *seed
@@ -78,13 +87,15 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	tel := telescope.New(cfg.Darkspace, "telescope-sim")
-	win, err := tel.CaptureWindow(&telescope.ReaderSource{R: r}, *nv)
+	tel := telescope.New(cfg.Darkspace, "telescope-sim", telescope.WithLeafSize(*leafSize))
+	capStart := time.Now()
+	win, err := tel.CaptureWindowEngine(ctx, &telescope.ReaderSource{R: r}, *nv, *workers, *batch)
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("captured %d valid packets (%d dropped) over %s in %d leaves",
-		win.NV, win.Dropped, win.Duration().Round(time.Millisecond), win.Leaves)
+	log.Printf("captured %d valid packets (%d dropped) over %s in %d leaves (%.0f pkts/s, workers=%d)",
+		win.NV, win.Dropped, win.Duration().Round(time.Millisecond), win.Leaves,
+		float64(win.NV)/time.Since(capStart).Seconds(), *workers)
 
 	fmt.Println("Network quantities (Table II), anonymized matrix:")
 	for _, row := range netquant.Compute(win.Matrix).Rows() {

@@ -10,6 +10,7 @@ package repro
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -179,7 +180,7 @@ func TestEndToEndParallelCaptureAgreesOnTables(t *testing.T) {
 		var win *telescope.Window
 		var err error
 		if parallel {
-			win, err = tel.CaptureWindowParallel(pop.TelescopeStream(3, time.Unix(0, 0)), nv, 4)
+			win, err = tel.CaptureWindowEngine(context.Background(), pop.TelescopeStream(3, time.Unix(0, 0)), nv, 4, 0)
 		} else {
 			win, err = tel.CaptureWindow(pop.TelescopeStream(3, time.Unix(0, 0)), nv)
 		}

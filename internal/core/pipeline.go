@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -25,7 +26,8 @@ type Config struct {
 
 	NV       int // telescope window size in valid packets
 	LeafSize int // hierarchical leaf size (paper: 2^17)
-	Workers  int // merge parallelism; 0 = GOMAXPROCS
+	Workers  int // engine shard workers; 1 = serial oracle, 0 = GOMAXPROCS
+	Batch    int // packets per engine batch; 0 = LeafSize
 
 	Sensors        int    // honeyfarm sensor count
 	AnonPassphrase string // CryptoPAN key derivation
@@ -154,9 +156,10 @@ func New(cfg Config) (*Pipeline, error) {
 	if err != nil {
 		return nil, err
 	}
-	workers := cfg.Workers
+	// Capture runs through the engine, which takes cfg.Workers directly;
+	// the telescope only needs the leaf size here.
 	tel := telescope.New(cfg.Radiation.Darkspace, cfg.AnonPassphrase,
-		telescope.WithLeafSize(cfg.LeafSize), telescope.WithWorkers(workers))
+		telescope.WithLeafSize(cfg.LeafSize))
 	farm := honeyfarm.New(cfg.Sensors, cfg.Radiation.Seed+1)
 	return &Pipeline{cfg: cfg, pop: pop, tel: tel, farm: farm}, nil
 }
@@ -175,9 +178,15 @@ type Result struct {
 	Farm    *honeyfarm.Honeyfarm
 }
 
-// Run executes the full study: 15 honeyfarm months, then one telescope
-// window per configured snapshot time, reduced to D4M source tables.
-func (p *Pipeline) Run() (*Result, error) {
+// Run executes the full study with background context; see RunContext.
+func (p *Pipeline) Run() (*Result, error) { return p.RunContext(context.Background()) }
+
+// RunContext executes the full study: 15 honeyfarm months, then one
+// telescope window per configured snapshot time captured through the
+// sharded streaming engine (Config.Workers shards; Workers=1 is the
+// serial degenerate path kept for correctness diffing), reduced to D4M
+// source tables. Cancelling ctx abandons the study mid-window.
+func (p *Pipeline) RunContext(ctx context.Context) (*Result, error) {
 	res := &Result{Config: p.cfg, Farm: p.farm}
 
 	for m := 0; m < p.cfg.Radiation.Months; m++ {
@@ -195,7 +204,7 @@ func (p *Pipeline) Run() (*Result, error) {
 	for _, ts := range p.cfg.SnapshotTimes {
 		monthFrac := p.cfg.monthOf(ts)
 		stream := p.pop.TelescopeStream(monthFrac, ts)
-		w, err := p.tel.CaptureWindow(stream, p.cfg.NV)
+		w, err := p.tel.CaptureWindowEngine(ctx, stream, p.cfg.NV, p.cfg.Workers, p.cfg.Batch)
 		if err != nil {
 			return nil, fmt.Errorf("core: snapshot %v: %w", ts, err)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"sync"
 	"testing"
@@ -342,6 +343,63 @@ func TestRunFailsWhenPopulationTooSmall(t *testing.T) {
 	}
 	if _, err := p.Run(); err == nil {
 		t.Error("undersized population produced a full window")
+	}
+}
+
+// TestShardedStudyMatchesSerial asserts the engine-backed study is
+// worker-count invariant: on a fixed seed, the Workers=1 serial oracle
+// and a 4-shard run produce identical windows (NNZ, NRows, Table II
+// quantities) and identical D4M source tables.
+func TestShardedStudyMatchesSerial(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.Radiation.NumSources = 3000
+	cfg.NV = 1 << 12
+	cfg.LeafSize = 1 << 8
+	run := func(workers int) *Result {
+		c := cfg
+		c.Workers = workers
+		p, err := New(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := p.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	serial, sharded := run(1), run(4)
+	serialQ, shardedQ := serial.TableII(), sharded.TableII()
+	for i := range serial.Windows {
+		sw, pw := serial.Windows[i], sharded.Windows[i]
+		if sw.Matrix.NNZ() != pw.Matrix.NNZ() {
+			t.Errorf("window %d: NNZ %d vs %d", i, sw.Matrix.NNZ(), pw.Matrix.NNZ())
+		}
+		if sw.Matrix.NRows() != pw.Matrix.NRows() {
+			t.Errorf("window %d: NRows %d vs %d", i, sw.Matrix.NRows(), pw.Matrix.NRows())
+		}
+		if serialQ[i] != shardedQ[i] {
+			t.Errorf("window %d: Table II quantities differ:\nserial  %+v\nsharded %+v", i, serialQ[i], shardedQ[i])
+		}
+		ss, ps := serial.Study.Snapshots[i].Sources, sharded.Study.Snapshots[i].Sources
+		if ss.NRows() != ps.NRows() {
+			t.Errorf("window %d: source tables differ: %d vs %d rows", i, ss.NRows(), ps.NRows())
+		}
+	}
+}
+
+// TestRunContextCancel asserts a study can be abandoned mid-window.
+func TestRunContextCancel(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.Workers = 2
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.RunContext(ctx); err == nil {
+		t.Error("cancelled study succeeded")
 	}
 }
 

@@ -1,0 +1,343 @@
+// Package engine implements the sharded, streaming window build at the
+// heart of the pipeline: packet sources (the telescope synthesizer, pcap
+// readers) feed bounded channels into N shard workers, each accumulating
+// hypersparse leaf matrices of LeafSize entries, and a hierarchical
+// merge tree reduces the shards into one per-window matrix.
+//
+// The engine is the parallel counterpart of the paper's construction:
+// NV = 2^17-packet leaves are built independently and hierarchically
+// summed into a 2^30-packet window. Because matrix addition is
+// commutative and associative, the sharded build produces exactly the
+// same matrix as the serial build — only the leaf boundaries differ —
+// which is what makes Workers=1 a usable correctness oracle for any
+// worker count.
+//
+// Flow control is explicit throughout: the reader blocks when all shard
+// queues are full (backpressure, bounded memory), and every blocking
+// point selects on context cancellation so a capture can be abandoned
+// mid-window without leaking goroutines.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/hypersparse"
+	"repro/internal/pcap"
+)
+
+// PacketSource yields packets in time order; Next returns false when the
+// stream is exhausted. It is structurally identical to the telescope's
+// PacketSource, so any source usable there plugs in here.
+type PacketSource interface {
+	Next(*pcap.Packet) bool
+}
+
+// Errorer is optionally implemented by sources that can fail mid-stream
+// (e.g. a pcap reader hitting a truncated file). The engine checks it
+// after the stream ends and surfaces the error.
+type Errorer interface {
+	Err() error
+}
+
+// Filter reports whether a packet belongs in the window (the telescope's
+// validity filter). It runs on the reader goroutine.
+type Filter func(*pcap.Packet) bool
+
+// Pair is one accepted packet reduced to its matrix coordinates.
+type Pair struct {
+	Row, Col uint32
+}
+
+// Mapper converts an accepted packet to matrix coordinates; CryptoPAN
+// anonymization lives here. With Workers > 1 it runs concurrently on the
+// shard workers and must be safe for concurrent use.
+type Mapper func(*pcap.Packet) Pair
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Workers is the shard-worker count: 1 runs the serial degenerate
+	// path (the correctness oracle), <= 0 uses GOMAXPROCS.
+	Workers int
+	// LeafSize is the number of entries per leaf matrix (the paper's
+	// leaf NV is 2^17).
+	LeafSize int
+	// Batch is the number of accepted packets handed to a shard at once;
+	// 0 defaults to LeafSize so one batch fills one leaf.
+	Batch int
+	// Queue is the bound on in-flight batches (the backpressure window);
+	// 0 defaults to 2 x Workers.
+	Queue int
+}
+
+// normalized resolves defaults into concrete values.
+func (c Config) normalized() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Batch <= 0 {
+		c.Batch = c.LeafSize
+	}
+	if c.Queue <= 0 {
+		c.Queue = 2 * c.Workers
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.LeafSize <= 0 {
+		return fmt.Errorf("engine: LeafSize must be positive, got %d", c.LeafSize)
+	}
+	return nil
+}
+
+// Engine is a configured, reusable window builder. Construct with New.
+type Engine struct {
+	cfg    Config
+	filter Filter
+	mapper Mapper
+	pool   sync.Pool // batch buffers recycled between reader and shards
+}
+
+// New builds an Engine from a validity filter and a coordinate mapper.
+// A nil filter accepts every packet.
+func New(cfg Config, filter Filter, mapper Mapper) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if mapper == nil {
+		return nil, fmt.Errorf("engine: mapper required")
+	}
+	if filter == nil {
+		filter = func(*pcap.Packet) bool { return true }
+	}
+	cfg = cfg.normalized()
+	e := &Engine{cfg: cfg, filter: filter, mapper: mapper}
+	e.pool.New = func() interface{} {
+		s := make([]pcap.Packet, 0, cfg.Batch)
+		return &s
+	}
+	return e, nil
+}
+
+// Config returns the normalized configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Window is one constant-packet capture: the merged matrix plus the
+// stream accounting the telescope records in Table I.
+type Window struct {
+	Start, End time.Time
+	NV         int // valid packets in the matrix
+	Dropped    int // packets rejected by the filter
+	Leaves     int // leaf matrices cut across all shards
+	Shards     int // shard workers that contributed leaves
+	Matrix     *hypersparse.Matrix
+}
+
+// Duration returns the wall-clock span of the window.
+func (w *Window) Duration() time.Duration { return w.End.Sub(w.Start) }
+
+// CaptureWindow reads from src until nv accepted packets are collected
+// (or the stream ends), building the window matrix with the configured
+// shard count. The capture stops early with ctx.Err() when ctx is
+// cancelled; no goroutines outlive the call.
+func (e *Engine) CaptureWindow(ctx context.Context, src PacketSource, nv int) (*Window, error) {
+	if nv <= 0 {
+		return nil, fmt.Errorf("engine: window size must be positive, got %d", nv)
+	}
+	var w *Window
+	var err error
+	if e.cfg.Workers == 1 {
+		w, err = e.captureSerial(ctx, src, nv)
+	} else {
+		w, err = e.captureSharded(ctx, src, nv)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if es, ok := src.(Errorer); ok {
+		if serr := es.Err(); serr != nil {
+			return nil, serr
+		}
+	}
+	return w, nil
+}
+
+// ctxPollInterval bounds how many packets are read between context
+// polls, so an abandoned capture stops promptly even when the filter
+// rejects everything (a batch, and hence a send-side poll, only fills
+// with accepted packets).
+const ctxPollInterval = 4096
+
+// captureSerial is the Workers=1 degenerate path: one goroutine
+// interleaves filtering, mapping, and leaf assembly, exactly mirroring
+// the pre-engine telescope build. It is kept as the correctness oracle
+// the sharded path is diffed against.
+func (e *Engine) captureSerial(ctx context.Context, src PacketSource, nv int) (*Window, error) {
+	acc := hypersparse.NewAccumulator(e.cfg.LeafSize, 1)
+	w := &Window{Shards: 1}
+	var pkt pcap.Packet
+	read := 0
+	for w.NV < nv && src.Next(&pkt) {
+		read++
+		if read%ctxPollInterval == 0 && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		if !e.filter(&pkt) {
+			w.Dropped++
+			continue
+		}
+		e.observe(w, &pkt)
+		p := e.mapper(&pkt)
+		acc.Add(p.Row, p.Col, 1)
+		w.NV++
+	}
+	w.Leaves = acc.Leaves()
+	if w.NV%e.cfg.LeafSize != 0 {
+		w.Leaves++ // partial tail leaf
+	}
+	w.Matrix = acc.Finish()
+	return w, nil
+}
+
+// shardResult is one worker's contribution to the merge tree.
+type shardResult struct {
+	matrix *hypersparse.Matrix
+	leaves int
+}
+
+// captureSharded is the parallel path: the caller's goroutine reads and
+// filters the stream while Workers shard goroutines map coordinates and
+// cut leaves, each reducing its own leaves before the final cross-shard
+// hierarchical merge.
+func (e *Engine) captureSharded(ctx context.Context, src PacketSource, nv int) (*Window, error) {
+	batches := make(chan *[]pcap.Packet, e.cfg.Queue)
+	results := make(chan shardResult, e.cfg.Workers)
+	var wg sync.WaitGroup
+	for i := 0; i < e.cfg.Workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e.shardWorker(ctx, batches, results)
+		}()
+	}
+
+	w := &Window{}
+	batch := e.getBatch()
+	var pkt pcap.Packet
+	var readErr error
+	read := 0
+	for w.NV < nv && src.Next(&pkt) {
+		read++
+		if read%ctxPollInterval == 0 && ctx.Err() != nil {
+			readErr = ctx.Err()
+			e.putBatch(batch)
+			batch = nil
+			break
+		}
+		if !e.filter(&pkt) {
+			w.Dropped++
+			continue
+		}
+		e.observe(w, &pkt)
+		*batch = append(*batch, pkt)
+		w.NV++
+		if len(*batch) == e.cfg.Batch {
+			if readErr = e.send(ctx, batches, batch); readErr != nil {
+				batch = nil
+				break
+			}
+			batch = e.getBatch()
+		}
+	}
+	if readErr == nil && batch != nil && len(*batch) > 0 {
+		readErr = e.send(ctx, batches, batch)
+	}
+	close(batches)
+	wg.Wait()
+	close(results)
+
+	if readErr != nil {
+		// Drain results so shard matrices are released before returning.
+		for range results {
+		}
+		return nil, readErr
+	}
+	if err := ctx.Err(); err != nil {
+		for range results {
+		}
+		return nil, err
+	}
+
+	shardMats := make([]*hypersparse.Matrix, 0, e.cfg.Workers)
+	for r := range results {
+		if r.leaves == 0 {
+			continue
+		}
+		w.Leaves += r.leaves
+		w.Shards++
+		shardMats = append(shardMats, r.matrix)
+	}
+	w.Matrix = hypersparse.HierSum(shardMats, e.cfg.Workers)
+	return w, nil
+}
+
+// shardWorker drains batches, mapping each packet to coordinates and
+// accumulating leaf matrices, then reduces its leaves and reports one
+// shard matrix. On cancellation it keeps draining (so the reader is
+// never blocked on a full queue) but stops doing work.
+func (e *Engine) shardWorker(ctx context.Context, batches <-chan *[]pcap.Packet, results chan<- shardResult) {
+	acc := hypersparse.NewAccumulator(e.cfg.LeafSize, 1)
+	ingested := 0
+	for batch := range batches {
+		if ctx.Err() != nil {
+			e.putBatch(batch)
+			continue
+		}
+		for i := range *batch {
+			p := e.mapper(&(*batch)[i])
+			acc.Add(p.Row, p.Col, 1)
+		}
+		ingested += len(*batch)
+		e.putBatch(batch)
+	}
+	leaves := acc.Leaves()
+	if ingested%e.cfg.LeafSize != 0 {
+		leaves++ // partial tail leaf
+	}
+	results <- shardResult{matrix: acc.Finish(), leaves: leaves}
+}
+
+// send hands a full batch to the shard pool, blocking under backpressure
+// until a queue slot frees or ctx is cancelled.
+func (e *Engine) send(ctx context.Context, batches chan<- *[]pcap.Packet, batch *[]pcap.Packet) error {
+	select {
+	case batches <- batch:
+		return nil
+	case <-ctx.Done():
+		e.putBatch(batch)
+		return ctx.Err()
+	}
+}
+
+// observe updates the window's time span for an accepted packet.
+func (e *Engine) observe(w *Window, pkt *pcap.Packet) {
+	if w.NV == 0 {
+		w.Start = pkt.Time
+	}
+	w.End = pkt.Time
+}
+
+func (e *Engine) getBatch() *[]pcap.Packet {
+	b := e.pool.Get().(*[]pcap.Packet)
+	*b = (*b)[:0]
+	return b
+}
+
+func (e *Engine) putBatch(b *[]pcap.Packet) {
+	e.pool.Put(b)
+}

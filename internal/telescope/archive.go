@@ -60,8 +60,8 @@ func (t *Telescope) CaptureToArchive(src PacketSource, nv int, aw *archive.Write
 		return valid, dropped, err
 	}
 	t.revCache = nil
-	if rs, ok := src.(*ReaderSource); ok && rs.Err != nil {
-		return valid, dropped, rs.Err
+	if rs, ok := src.(*ReaderSource); ok && rs.Err() != nil {
+		return valid, dropped, rs.Err()
 	}
 	return valid, dropped, nil
 }

@@ -1,0 +1,56 @@
+package telescope
+
+// engine.go plugs the telescope into the sharded streaming window
+// engine: the validity filter runs on the engine's reader goroutine, the
+// CryptoPAN mapper runs on the shard workers (the cache is sharded and
+// concurrency safe, so repeated addresses cost one AES walk regardless
+// of worker count), and the engine's merge tree produces the window
+// matrix. Workers=1 is the serial degenerate path, byte-identical to
+// CaptureWindow's output.
+
+import (
+	"context"
+
+	"repro/internal/engine"
+	"repro/internal/pcap"
+)
+
+// Engine returns a window engine wired to this telescope's validity
+// filter, anonymizer, and leaf size. workers and batch follow
+// engine.Config semantics (<= 0 picks defaults).
+func (t *Telescope) Engine(workers, batch int) (*engine.Engine, error) {
+	return engine.New(
+		engine.Config{Workers: workers, LeafSize: t.leafSize, Batch: batch},
+		t.Valid,
+		func(p *pcap.Packet) engine.Pair {
+			return engine.Pair{
+				Row: uint32(t.anon.Anonymize(p.Src)),
+				Col: uint32(t.anon.Anonymize(p.Dst)),
+			}
+		})
+}
+
+// CaptureWindowEngine captures a constant-packet window through the
+// sharded streaming engine. It produces the same Window as
+// CaptureWindow — the matrix is a sum of the same anonymized triples,
+// only leaf boundaries differ — with backpressure-bounded memory and
+// context cancellation.
+func (t *Telescope) CaptureWindowEngine(ctx context.Context, src PacketSource, nv, workers, batch int) (*Window, error) {
+	eng, err := t.Engine(workers, batch)
+	if err != nil {
+		return nil, err
+	}
+	ew, err := eng.CaptureWindow(ctx, src, nv)
+	// Capture grows the anonymization table either way; drop the memo.
+	t.revCache = nil
+	if err != nil {
+		return nil, err
+	}
+	// Source errors (e.g. a truncated pcap) surface through the engine's
+	// Errorer hook, which ReaderSource satisfies.
+	return &Window{
+		Start: ew.Start, End: ew.End,
+		NV: ew.NV, Dropped: ew.Dropped, Leaves: ew.Leaves,
+		Matrix: ew.Matrix,
+	}, nil
+}

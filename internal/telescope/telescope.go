@@ -32,7 +32,7 @@ type PacketSource interface {
 // ReaderSource adapts a pcap.Reader to the PacketSource interface.
 type ReaderSource struct {
 	R   *pcap.Reader
-	Err error // first non-EOF error, if any
+	err error
 }
 
 // Next implements PacketSource.
@@ -42,10 +42,15 @@ func (rs *ReaderSource) Next(p *pcap.Packet) bool {
 		return true
 	}
 	if err != io.EOF {
-		rs.Err = err
+		rs.err = err
 	}
 	return false
 }
+
+// Err reports the first non-EOF read error, if any. It satisfies the
+// engine's Errorer hook, so truncated captures surface from any capture
+// path.
+func (rs *ReaderSource) Err() error { return rs.err }
 
 // Telescope holds the observatory configuration. Construct with New.
 type Telescope struct {
@@ -140,8 +145,8 @@ func (t *Telescope) CaptureWindow(src PacketSource, nv int) (*Window, error) {
 		w.Leaves++ // partial tail leaf
 	}
 	w.Matrix = acc.Finish()
-	if rs, ok := src.(*ReaderSource); ok && rs.Err != nil {
-		return nil, rs.Err
+	if rs, ok := src.(*ReaderSource); ok && rs.Err() != nil {
+		return nil, rs.Err()
 	}
 	return w, nil
 }
@@ -173,8 +178,8 @@ func (t *Telescope) CaptureTimeWindow(src PacketSource, span time.Duration) (*Wi
 	}
 	w.Leaves = acc.Leaves()
 	w.Matrix = acc.Finish()
-	if rs, ok := src.(*ReaderSource); ok && rs.Err != nil {
-		return nil, rs.Err
+	if rs, ok := src.(*ReaderSource); ok && rs.Err() != nil {
+		return nil, rs.Err()
 	}
 	return w, nil
 }
