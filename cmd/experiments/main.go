@@ -6,7 +6,7 @@
 // Usage:
 //
 //	experiments [-scale quick|default] [-nv N] [-sources N] [-seed N]
-//	            [-workers N] [-leaf-size N] [-batch N]
+//	            [-workers N] [-leaf-size N] [-batch N] [-store ADDR|auto]
 package main
 
 import (
@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/stats"
+	"repro/internal/tripled"
 )
 
 type check struct {
@@ -38,6 +39,7 @@ func main() {
 		workers  = flag.Int("workers", 0, "engine shard workers (1 = serial, 0 = GOMAXPROCS)")
 		leafSize = flag.Int("leaf-size", 0, "override entries per hypersparse leaf matrix")
 		batch    = flag.Int("batch", 0, "packets per engine batch (0 = leaf size)")
+		store    = flag.String("store", "", `tripled D4M server for the correlation tables ("auto" = in-process)`)
 	)
 	flag.Parse()
 
@@ -59,6 +61,17 @@ func main() {
 		cfg.LeafSize = *leafSize
 	}
 	cfg.Batch = *batch
+	if *store == "auto" {
+		srv, err := tripled.Serve(tripled.NewStore(), "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		cfg.StoreAddr = srv.Addr()
+		log.Printf("in-process tripled store on %s", cfg.StoreAddr)
+	} else {
+		cfg.StoreAddr = *store
+	}
 
 	pipe, err := core.New(cfg)
 	if err != nil {

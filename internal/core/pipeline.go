@@ -18,6 +18,7 @@ import (
 	"repro/internal/radiation"
 	"repro/internal/stats"
 	"repro/internal/telescope"
+	"repro/internal/tripled"
 )
 
 // Config parameterizes one full study.
@@ -31,6 +32,13 @@ type Config struct {
 
 	Sensors        int    // honeyfarm sensor count
 	AnonPassphrase string // CryptoPAN key derivation
+
+	// StoreAddr, when non-empty, routes the correlation tables through a
+	// tripled server at that address (the paper's Accumulo role): every
+	// honeyfarm month and telescope source table is published with the
+	// batched pipeline path and read back from the store, so the study
+	// correlates what the database holds, not what is in memory.
+	StoreAddr string
 
 	StudyStart    time.Time   // first honeyfarm month (paper: 2020-02-01)
 	SnapshotTimes []time.Time // telescope sample times (paper: five dates in 2020)
@@ -185,9 +193,20 @@ func (p *Pipeline) Run() (*Result, error) { return p.RunContext(context.Backgrou
 // telescope window per configured snapshot time captured through the
 // sharded streaming engine (Config.Workers shards; Workers=1 is the
 // serial degenerate path kept for correctness diffing), reduced to D4M
-// source tables. Cancelling ctx abandons the study mid-window.
+// source tables. With Config.StoreAddr set, every table additionally
+// round-trips through the tripled service before correlation.
+// Cancelling ctx abandons the study mid-window.
 func (p *Pipeline) RunContext(ctx context.Context) (*Result, error) {
 	res := &Result{Config: p.cfg, Farm: p.farm}
+
+	var db *tripled.Client
+	if p.cfg.StoreAddr != "" {
+		var err error
+		if db, err = tripled.Dial(p.cfg.StoreAddr); err != nil {
+			return nil, fmt.Errorf("core: store %s: %w", p.cfg.StoreAddr, err)
+		}
+		defer db.Close()
+	}
 
 	for m := 0; m < p.cfg.Radiation.Months; m++ {
 		start := p.cfg.StudyStart.AddDate(0, m, 0)
@@ -196,8 +215,18 @@ func (p *Pipeline) RunContext(ctx context.Context) (*Result, error) {
 		if mw == nil {
 			mw = p.farm.IngestMonth(label, start, p.pop.HoneyfarmMonth(m, start))
 		}
+		table := mw.Table
+		if db != nil {
+			if err := mw.Publish(db); err != nil {
+				return nil, fmt.Errorf("core: publish month %s: %w", label, err)
+			}
+			var err error
+			if table, err = honeyfarm.FetchMonthTable(db, label); err != nil {
+				return nil, fmt.Errorf("core: fetch month %s: %w", label, err)
+			}
+		}
 		res.Study.Months = append(res.Study.Months, correlate.MonthData{
-			Label: label, Month: m, Table: mw.Table,
+			Label: label, Month: m, Table: table,
 		})
 	}
 
@@ -212,12 +241,22 @@ func (p *Pipeline) RunContext(ctx context.Context) (*Result, error) {
 			return nil, fmt.Errorf("core: snapshot %v: stream exhausted at %d of %d packets (population too small for NV)",
 				ts, w.NV, p.cfg.NV)
 		}
+		label := ts.Format("20060102-150405")
+		sources := p.tel.SourceTable(w)
+		if db != nil {
+			if err := p.tel.PublishSourceTable(db, label, w); err != nil {
+				return nil, fmt.Errorf("core: publish snapshot %s: %w", label, err)
+			}
+			if sources, err = telescope.FetchSourceTable(db, label); err != nil {
+				return nil, fmt.Errorf("core: fetch snapshot %s: %w", label, err)
+			}
+		}
 		res.Windows = append(res.Windows, w)
 		res.Study.Snapshots = append(res.Study.Snapshots, correlate.Snapshot{
-			Label:   ts.Format("20060102-150405"),
+			Label:   label,
 			Month:   monthFrac,
 			NV:      p.cfg.NV,
-			Sources: p.tel.SourceTable(w),
+			Sources: sources,
 		})
 	}
 	return res, nil

@@ -22,6 +22,7 @@ import (
 	"repro/internal/ipaddr"
 	"repro/internal/pcap"
 	"repro/internal/radiation"
+	"repro/internal/tripled"
 )
 
 // Column names of the monthly tables.
@@ -104,6 +105,27 @@ func (h *Honeyfarm) IngestMonth(label string, start time.Time, obs []radiation.O
 	mw := &MonthWindow{Label: label, Start: start, Table: table}
 	h.months = append(h.months, mw)
 	return mw
+}
+
+// PublishBatch is the batch size month tables are published with.
+const PublishBatch = 1024
+
+// MonthRowPrefix is the tripled row-key prefix a month table is
+// published under — the stand-in for Accumulo's per-month tables in the
+// paper's deployment.
+func MonthRowPrefix(label string) string { return "hf/" + label + "/" }
+
+// Publish writes the month table to a tripled server under
+// MonthRowPrefix, via the client's pipelined batch path.
+func (m *MonthWindow) Publish(c *tripled.Client) error {
+	return c.PublishAssoc(MonthRowPrefix(m.Label), m.Table, PublishBatch)
+}
+
+// FetchMonthTable reads a published month table back from a tripled
+// server. The result is row/col/value identical to the table that was
+// published.
+func FetchMonthTable(c *tripled.Client, label string) (*assoc.Assoc, error) {
+	return c.FetchAssoc(MonthRowPrefix(label), 512)
 }
 
 // Profile is the enrichment the conversation engine produces for one

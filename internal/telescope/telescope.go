@@ -21,6 +21,7 @@ import (
 	"repro/internal/hypersparse"
 	"repro/internal/ipaddr"
 	"repro/internal/pcap"
+	"repro/internal/tripled"
 )
 
 // PacketSource yields packets in time order; Next returns false when the
@@ -226,4 +227,25 @@ func (t *Telescope) SourceTable(w *Window) *assoc.Assoc {
 		return true
 	})
 	return out
+}
+
+// SnapshotRowPrefix is the tripled row-key prefix a snapshot's source
+// table is published under.
+func SnapshotRowPrefix(label string) string { return "tel/" + label + "/" }
+
+// PublishBatch is the batch size source tables are published with.
+const PublishBatch = 1024
+
+// PublishSourceTable reduces a window to its D4M source table and
+// writes it to a tripled server under SnapshotRowPrefix — the paper's
+// "reduced results are converted to D4M associative arrays" boundary,
+// with the database substrate standing in for Accumulo.
+func (t *Telescope) PublishSourceTable(c *tripled.Client, label string, w *Window) error {
+	return c.PublishAssoc(SnapshotRowPrefix(label), t.SourceTable(w), PublishBatch)
+}
+
+// FetchSourceTable reads a published snapshot source table back from a
+// tripled server.
+func FetchSourceTable(c *tripled.Client, label string) (*assoc.Assoc, error) {
+	return c.FetchAssoc(SnapshotRowPrefix(label), 512)
 }

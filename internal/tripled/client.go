@@ -27,7 +27,7 @@ func Dial(addr string) (*Client, error) {
 	}
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 1<<16), 1<<20)
-	return &Client{conn: conn, r: sc, w: bufio.NewWriter(conn)}, nil
+	return &Client{conn: conn, r: sc, w: bufio.NewWriterSize(conn, 1<<16)}, nil
 }
 
 // Close sends QUIT and closes the connection.
@@ -38,13 +38,17 @@ func (c *Client) Close() error {
 	return c.conn.Close()
 }
 
-func (c *Client) roundTrip(line string) (string, error) {
+// send writes one request line without waiting for the response.
+func (c *Client) send(line string) error {
 	if strings.ContainsAny(line, "\n") {
-		return "", fmt.Errorf("tripled: request contains newline")
+		return fmt.Errorf("tripled: request contains newline")
 	}
-	if _, err := fmt.Fprintln(c.w, line); err != nil {
-		return "", err
-	}
+	_, err := fmt.Fprintln(c.w, line)
+	return err
+}
+
+// recv flushes pending writes and reads one response line.
+func (c *Client) recv() (string, error) {
 	if err := c.w.Flush(); err != nil {
 		return "", err
 	}
@@ -55,6 +59,13 @@ func (c *Client) roundTrip(line string) (string, error) {
 		return "", fmt.Errorf("tripled: connection closed")
 	}
 	return c.r.Text(), nil
+}
+
+func (c *Client) roundTrip(line string) (string, error) {
+	if err := c.send(line); err != nil {
+		return "", err
+	}
+	return c.recv()
 }
 
 func (c *Client) expectOK(resp string) error {
@@ -70,13 +81,18 @@ func (c *Client) expectOK(resp string) error {
 	}
 }
 
-// Put stores a value.
-func (c *Client) Put(row, col string, v assoc.Value) error {
+// putLine renders a PUT request (or BATCH body) line.
+func putLine(row, col string, v assoc.Value) string {
 	marker := "s"
 	if v.Numeric {
 		marker = "n"
 	}
-	resp, err := c.roundTrip(fmt.Sprintf("PUT\t%s\t%s\t%s\t%s", row, col, marker, v.String()))
+	return fmt.Sprintf("PUT\t%s\t%s\t%s\t%s", row, col, marker, v.String())
+}
+
+// Put stores a value.
+func (c *Client) Put(row, col string, v assoc.Value) error {
+	resp, err := c.roundTrip(putLine(row, col, v))
 	if err != nil {
 		return err
 	}
@@ -107,6 +123,25 @@ func (c *Client) Delete(row, col string) error {
 		return err
 	}
 	return c.expectOK(resp)
+}
+
+// PutBatch stores every cell in one BATCH round trip.
+func (c *Client) PutBatch(cells []Cell) error {
+	p := c.StartPipeline(len(cells))
+	for _, cell := range cells {
+		p.Put(cell.Row, cell.Col, cell.Val)
+	}
+	return p.Close()
+}
+
+// DeleteBatch removes every addressed cell in one BATCH round trip.
+// Unlike Delete, absent cells are not an error.
+func (c *Client) DeleteBatch(keys []CellKey) error {
+	p := c.StartPipeline(len(keys))
+	for _, k := range keys {
+		p.Delete(k.Row, k.Col)
+	}
+	return p.Close()
 }
 
 // NNZ returns the server-side cell count.
@@ -185,6 +220,68 @@ func (c *Client) RowRange(start, end string) ([]string, error) {
 	return c.readBlock(resp)
 }
 
+// ScanRows fetches one page of the paged row scan: up to limit sorted
+// row keys in [start, end) that are > cursor (cursor "" starts at
+// start). A page shorter than limit ends the scan; otherwise pass the
+// last key back as the cursor.
+func (c *Client) ScanRows(start, end string, limit int, cursor string) ([]string, error) {
+	resp, err := c.roundTrip(fmt.Sprintf("SCAN\t%s\t%s\t%d\t%s", start, end, limit, cursor))
+	if err != nil {
+		return nil, err
+	}
+	return c.readBlock(resp)
+}
+
+// ScanAllRows pages through the whole scan with pageSize-row SCAN
+// requests and returns every row key in [start, end).
+func (c *Client) ScanAllRows(start, end string, pageSize int) ([]string, error) {
+	if pageSize < 1 {
+		pageSize = 1024
+	}
+	var out []string
+	cursor := ""
+	for {
+		page, err := c.ScanRows(start, end, pageSize, cursor)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, page...)
+		if len(page) < pageSize {
+			return out, nil
+		}
+		cursor = page[len(page)-1]
+	}
+}
+
+// ScanCells fetches one page of the bulk cell export: every cell of up
+// to limit rows, in (row, col) order, with the cursor being the last
+// row key of the page. Unlike ScanRows, a short page does not prove
+// the scan is done (rows deleted concurrently drop out of a page);
+// loop until an empty page, as FetchAssoc does.
+func (c *Client) ScanCells(start, end string, limit int, cursor string) ([]Cell, error) {
+	resp, err := c.roundTrip(fmt.Sprintf("CELLS\t%s\t%s\t%d\t%s", start, end, limit, cursor))
+	if err != nil {
+		return nil, err
+	}
+	lines, err := c.readBlock(resp)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Cell, 0, len(lines))
+	for _, line := range lines {
+		parts := strings.SplitN(line, "\t", 4)
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("tripled: malformed cells line %q", line)
+		}
+		v, err := parseValue(parts[2], parts[3])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Cell{Row: parts[0], Col: parts[1], Val: v})
+	}
+	return out, nil
+}
+
 // TopRowsByDegree queries the server's degree table.
 func (c *Client) TopRowsByDegree(k int) ([]RowDegree, error) {
 	resp, err := c.roundTrip(fmt.Sprintf("TOPDEG\t%d", k))
@@ -208,4 +305,89 @@ func (c *Client) TopRowsByDegree(k int) ([]RowDegree, error) {
 		out = append(out, RowDegree{Row: parts[0], Degree: d})
 	}
 	return out, nil
+}
+
+// PrefixEnd returns the smallest string greater than every string with
+// the given prefix, for use as a scan end bound. An empty prefix (or a
+// prefix of only 0xff bytes) returns "", the unbounded end.
+func PrefixEnd(prefix string) string {
+	b := []byte(prefix)
+	for i := len(b) - 1; i >= 0; i-- {
+		if b[i] < 0xff {
+			b[i]++
+			return string(b[:i+1])
+		}
+	}
+	return ""
+}
+
+// PublishAssoc writes every cell of a under the row-key prefix, using
+// the pipelined batch path (batchSize cells per BATCH, acks collected
+// asynchronously). It is how pipeline tables are published to the
+// store: prefixes stand in for Accumulo's per-month tables, so any
+// cells previously published under the prefix are deleted first — a
+// republish replaces the table, it never unions with a stale one.
+// Concurrent writers under one prefix are the caller's problem, as
+// with an Accumulo table overwrite.
+func (c *Client) PublishAssoc(prefix string, a *assoc.Assoc, batchSize int) error {
+	if err := c.DeletePrefix(prefix, 512); err != nil {
+		return err
+	}
+	p := c.StartPipeline(batchSize)
+	a.Iterate(func(row, col string, v assoc.Value) bool {
+		p.Put(prefix+row, col, v)
+		return true
+	})
+	return p.Close()
+}
+
+// DeletePrefix removes every cell under the row-key prefix, paging with
+// CELLS and batch-deleting until the prefix is empty.
+func (c *Client) DeletePrefix(prefix string, pageRows int) error {
+	if pageRows < 1 {
+		pageRows = 512
+	}
+	for {
+		cells, err := c.ScanCells(prefix, PrefixEnd(prefix), pageRows, "")
+		if err != nil {
+			return err
+		}
+		if len(cells) == 0 {
+			return nil
+		}
+		keys := make([]CellKey, len(cells))
+		for i, cell := range cells {
+			keys[i] = CellKey{Row: cell.Row, Col: cell.Col}
+		}
+		if err := c.DeleteBatch(keys); err != nil {
+			return err
+		}
+	}
+}
+
+// FetchAssoc reads every cell under the row-key prefix back into an
+// associative array, paging with CELLS (pageRows rows per round trip)
+// and stripping the prefix from the row keys. The scan ends at the
+// first empty page: a short non-empty page only advances the cursor
+// (concurrent deletes can legitimately shorten a page), so nothing is
+// silently truncated.
+func (c *Client) FetchAssoc(prefix string, pageRows int) (*assoc.Assoc, error) {
+	if pageRows < 1 {
+		pageRows = 512
+	}
+	out := assoc.New()
+	cursor := ""
+	for {
+		cells, err := c.ScanCells(prefix, PrefixEnd(prefix), pageRows, cursor)
+		if err != nil {
+			return nil, err
+		}
+		if len(cells) == 0 {
+			return out, nil
+		}
+		for _, cell := range cells {
+			out.Set(strings.TrimPrefix(cell.Row, prefix), cell.Col, cell.Val)
+		}
+		cursor = cells[len(cells)-1].Row
+	}
 }

@@ -1,0 +1,111 @@
+package tripled
+
+// fuzz_test.go throws arbitrary bytes at the wire protocol and the
+// persistence log. The contract under attack: malformed input of any
+// shape — embedded tabs, huge counts, truncated BATCH bodies, binary
+// noise — yields ERR responses or a clean disconnect, never a panic, a
+// hang, or a corrupted store.
+
+import (
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/assoc"
+)
+
+// fuzzSession drives one server connection over an in-memory pipe with
+// the fuzz input as the raw client byte stream, returning after the
+// handler exits. The generous deadlines only bound runaway cases; the
+// hang guard is the test timeout.
+func fuzzSession(t *testing.T, store *Store, data []byte) {
+	t.Helper()
+	srv := newServer(store, WithIdleTimeout(2*time.Second), WithMaxBatch(1024))
+	clientEnd, serverEnd := net.Pipe()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer serverEnd.Close()
+		srv.serveConn(serverEnd)
+	}()
+	// Drain responses so synchronous pipe writes never block the handler.
+	go io.Copy(io.Discard, clientEnd)
+
+	clientEnd.SetWriteDeadline(time.Now().Add(5 * time.Second))
+	clientEnd.Write(data)
+	clientEnd.Close()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("server hung on input %q", data)
+	}
+}
+
+func FuzzServerProtocol(f *testing.F) {
+	// Seed corpus: every documented verb, plus the documented failure
+	// shapes (truncated BATCH bodies, huge counts, embedded tabs).
+	seeds := []string{
+		"PUT\tr\tc\tn\t3\n",
+		"PUT\tr\tc\ts\thello world\n",
+		"GET\tr\tc\n",
+		"DEL\tr\tc\n",
+		"BATCH\t2\nPUT\ta\tb\tn\t1\nDEL\ta\tb\n",
+		"ROW\tr\n",
+		"COL\tc\n",
+		"RANGE\ta\tz\n",
+		"SCAN\ta\tz\t10\t\n",
+		"CELLS\ta\tz\t10\t\n",
+		"TOPDEG\t5\n",
+		"NNZ\n",
+		"QUIT\n",
+		"BATCH\t3\nPUT\ta\tb\tn\t1\n",          // truncated body
+		"BATCH\t99999999999999999999\n",        // overflow count
+		"BATCH\t1000000000\nPUT\ta\tb\tn\t1\n", // huge count
+		"BATCH\t-5\n",                          // negative count
+		"BATCH\t1\nGET\ta\tb\n",                // non-mutation in body
+		"PUT\tr\tc\tq\tbadmarker\n",            // unknown value marker
+		"PUT\tr\tc\tn\tnot-a-number\n",         // bad numeric
+		"PUT\ttoo\tfew\n",                      // arity
+		"GET\tr\tc\textra\ttabs\teverywhere\n", // arity
+		"TOPDEG\t\t\n",                         // empty args
+		"SCAN\t\t\tx\t\n",                      // non-numeric limit
+		"\t\t\t\n",                             // tabs only
+		"put\tlower\tcase\tn\t1\n",             // case folding
+		"PUT\tr\tc\tn\t1\r\nGET\tr\tc\r\n",     // CRLF
+		"BOGUS COMMAND\nNNZ\n",                 // junk then valid
+		strings.Repeat("A", 4096) + "\n",       // long junk line
+		"PUT\t" + strings.Repeat("k", 2000) + "\tc\tn\t1\n", // long key
+		"\x00\x01\x02\xff\xfe\n",                            // binary noise
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		store := NewStoreStripes(4)
+		fuzzSession(t, store, data)
+		verifyStoreInvariants(t, store)
+		// The store must stay fully usable after any session.
+		store.Put("post", "fuzz", assoc.Num(1))
+		if v, ok := store.Get("post", "fuzz"); !ok || v.Num != 1 {
+			t.Fatal("store unusable after fuzzed session")
+		}
+	})
+}
+
+func FuzzReplayLog(f *testing.F) {
+	f.Add([]byte("P\tr\tc\tn\t1.5\nP\tr\tc2\ts\thello\n"))
+	f.Add([]byte("P\tr\tc\tq\tbad\n"))
+	f.Add([]byte("X\tr\tc\tn\t1\n"))
+	f.Add([]byte("P\tr\tc\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("\n\n\n"))
+	f.Add([]byte("P\tr\tc\tn\tNaN\n"))
+	f.Add([]byte("\x00P\t\xff\t\t\t\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		store := NewStoreStripes(3)
+		store.ReplayLog(strings.NewReader(string(data))) // error or nil, never panic
+		verifyStoreInvariants(t, store)
+	})
+}

@@ -1,4 +1,4 @@
-package tripled
+package tripled_test
 
 import (
 	"testing"
@@ -8,6 +8,7 @@ import (
 	"repro/internal/honeyfarm"
 	"repro/internal/radiation"
 	"repro/internal/stats"
+	"repro/internal/tripled"
 )
 
 // TestHoneyfarmMonthServedOverTCP loads a honeyfarm month table into the
@@ -30,18 +31,18 @@ func TestHoneyfarmMonthServedOverTCP(t *testing.T) {
 		t.Fatal("empty month")
 	}
 
-	store := NewStore()
+	store := tripled.NewStore()
 	store.LoadAssoc(mw.Table)
 	if store.NNZ() != mw.Table.NNZ() {
 		t.Fatalf("store NNZ %d != table NNZ %d", store.NNZ(), mw.Table.NNZ())
 	}
 
-	srv, err := Serve(store, "127.0.0.1:0")
+	srv, err := tripled.Serve(store, "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	c, err := Dial(srv.Addr())
+	c, err := tripled.Dial(srv.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}

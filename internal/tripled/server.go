@@ -10,15 +10,29 @@ package tripled
 //	PUT <row> <col> <n|s> <value>
 //	GET <row> <col>
 //	DEL <row> <col>
+//	BATCH <n>              -> followed by n body lines, each
+//	                          "PUT <row> <col> <n|s> <value>" or
+//	                          "DEL <row> <col>"; one "OK <n>" ack
 //	ROW <row>              -> block of col/value pairs
 //	COL <col>              -> block of row/value pairs
 //	RANGE <start> <end>    -> block of row keys ("" end = unbounded)
+//	SCAN <start> <end> <limit> <cursor>
+//	                       -> block of up to <limit> row keys > cursor;
+//	                          fewer than <limit> keys means the scan is
+//	                          done, else resume with the last key
+//	CELLS <start> <end> <limit> <cursor>
+//	                       -> like SCAN but the block holds every cell
+//	                          of the page's rows as row/col/type/value
+//	                          lines (bulk export, one trip per page)
 //	TOPDEG <k>             -> block of row/degree pairs
 //	NNZ
 //	QUIT
 //
 // Responses: "OK", "OK <payload>", "NF" (not found), "ERR <msg>", or
-// "BLOCK <n>" followed by n data lines.
+// "BLOCK <n>" followed by n data lines. Malformed requests that leave
+// the stream position unambiguous get an ERR and the connection lives
+// on; requests that would desynchronize the stream (oversized or
+// truncated BATCH bodies) close it.
 
 import (
 	"bufio"
@@ -29,28 +43,68 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/assoc"
 )
 
+// Defaults for the tunable server limits.
+const (
+	DefaultIdleTimeout = 2 * time.Minute
+	DefaultMaxBatch    = 1 << 16
+)
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithIdleTimeout sets how long a connection may sit idle between
+// requests (and between BATCH body lines) before the server drops it.
+// Zero or negative disables the deadline.
+func WithIdleTimeout(d time.Duration) Option {
+	return func(s *Server) { s.idleTimeout = d }
+}
+
+// WithMaxBatch caps the declared count of a BATCH request; larger
+// counts are refused and the connection closed.
+func WithMaxBatch(n int) Option {
+	return func(s *Server) { s.maxBatch = n }
+}
+
 // Server serves a Store over TCP.
 type Server struct {
-	store *Store
-	ln    net.Listener
-	wg    sync.WaitGroup
+	store       *Store
+	ln          net.Listener
+	wg          sync.WaitGroup
+	idleTimeout time.Duration
+	maxBatch    int
 
 	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
 	closed bool
+}
+
+func newServer(store *Store, opts ...Option) *Server {
+	s := &Server{
+		store:       store,
+		idleTimeout: DefaultIdleTimeout,
+		maxBatch:    DefaultMaxBatch,
+		conns:       make(map[net.Conn]struct{}),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
 }
 
 // Serve starts listening on addr (e.g. "127.0.0.1:0") and serving
 // connections until Close.
-func Serve(store *Store, addr string) (*Server, error) {
+func Serve(store *Store, addr string, opts ...Option) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{store: store, ln: ln}
+	s := newServer(store, opts...)
+	s.ln = ln
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -59,14 +113,37 @@ func Serve(store *Store, addr string) (*Server, error) {
 // Addr returns the bound listen address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the listener and waits for in-flight connections.
+// Close stops the listener, closes every live connection (so idle
+// clients cannot wedge shutdown), and waits for the handlers to drain.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
+	for conn := range s.conns {
+		conn.Close()
+	}
 	s.mu.Unlock()
 	err := s.ln.Close()
 	s.wg.Wait()
 	return err
+}
+
+// track registers a live connection; it reports false (and closes the
+// conn) when the server is already shutting down.
+func (s *Server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		conn.Close()
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
 }
 
 func (s *Server) acceptLoop() {
@@ -76,9 +153,13 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
+		if !s.track(conn) {
+			return
+		}
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
+			defer s.untrack(conn)
 			defer conn.Close()
 			s.serveConn(conn)
 		}()
@@ -88,14 +169,14 @@ func (s *Server) acceptLoop() {
 func (s *Server) serveConn(conn net.Conn) {
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 1<<16), 1<<20)
-	w := bufio.NewWriter(conn)
+	w := bufio.NewWriterSize(conn, 1<<16)
 	defer w.Flush()
-	for sc.Scan() {
+	for s.scanLine(conn, sc) {
 		line := sc.Text()
 		if line == "" {
 			continue
 		}
-		if done := s.handle(w, line); done {
+		if done := s.handle(conn, sc, w, line); done {
 			return
 		}
 		if err := w.Flush(); err != nil {
@@ -104,9 +185,18 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
+// scanLine reads one line with the idle deadline armed, so a silent
+// client cannot pin the handler (and hence Close) forever.
+func (s *Server) scanLine(conn net.Conn, sc *bufio.Scanner) bool {
+	if s.idleTimeout > 0 {
+		conn.SetReadDeadline(time.Now().Add(s.idleTimeout))
+	}
+	return sc.Scan()
+}
+
 // handle processes one request line; returns true when the connection
 // should close.
-func (s *Server) handle(w *bufio.Writer, line string) bool {
+func (s *Server) handle(conn net.Conn, sc *bufio.Scanner, w *bufio.Writer, line string) bool {
 	parts := strings.Split(line, "\t")
 	cmd := strings.ToUpper(parts[0])
 	switch cmd {
@@ -116,16 +206,12 @@ func (s *Server) handle(w *bufio.Writer, line string) bool {
 	case "NNZ":
 		fmt.Fprintf(w, "OK %d\n", s.store.NNZ())
 	case "PUT":
-		if len(parts) != 5 {
-			fmt.Fprintln(w, "ERR PUT wants 4 arguments")
-			return false
-		}
-		v, err := parseValue(parts[3], parts[4])
+		cell, err := parseMutation(parts)
 		if err != nil {
 			fmt.Fprintf(w, "ERR %v\n", err)
 			return false
 		}
-		s.store.Put(parts[1], parts[2], v)
+		s.store.Put(cell.Row, cell.Col, cell.Val)
 		fmt.Fprintln(w, "OK")
 	case "GET":
 		if len(parts) != 3 {
@@ -152,6 +238,8 @@ func (s *Server) handle(w *bufio.Writer, line string) bool {
 		} else {
 			fmt.Fprintln(w, "NF")
 		}
+	case "BATCH":
+		return s.handleBatch(conn, sc, w, parts)
 	case "ROW", "COL":
 		if len(parts) != 2 {
 			fmt.Fprintf(w, "ERR %s wants 1 argument\n", cmd)
@@ -187,6 +275,40 @@ func (s *Server) handle(w *bufio.Writer, line string) bool {
 		for _, r := range rows {
 			fmt.Fprintln(w, r)
 		}
+	case "SCAN":
+		if len(parts) != 5 {
+			fmt.Fprintln(w, "ERR SCAN wants 4 arguments")
+			return false
+		}
+		limit, err := strconv.Atoi(parts[3])
+		if err != nil || limit < 1 {
+			fmt.Fprintln(w, "ERR bad limit")
+			return false
+		}
+		rows, _ := s.store.ScanRows(parts[1], parts[2], limit, parts[4])
+		fmt.Fprintf(w, "BLOCK %d\n", len(rows))
+		for _, r := range rows {
+			fmt.Fprintln(w, r)
+		}
+	case "CELLS":
+		if len(parts) != 5 {
+			fmt.Fprintln(w, "ERR CELLS wants 4 arguments")
+			return false
+		}
+		limit, err := strconv.Atoi(parts[3])
+		if err != nil || limit < 1 {
+			fmt.Fprintln(w, "ERR bad limit")
+			return false
+		}
+		cells, _ := s.store.ScanCells(parts[1], parts[2], limit, parts[4])
+		fmt.Fprintf(w, "BLOCK %d\n", len(cells))
+		for _, c := range cells {
+			marker := "s"
+			if c.Val.Numeric {
+				marker = "n"
+			}
+			fmt.Fprintf(w, "%s\t%s\t%s\t%s\n", c.Row, c.Col, marker, c.Val.String())
+		}
 	case "TOPDEG":
 		if len(parts) != 2 {
 			fmt.Fprintln(w, "ERR TOPDEG wants 1 argument")
@@ -206,6 +328,107 @@ func (s *Server) handle(w *bufio.Writer, line string) bool {
 		fmt.Fprintf(w, "ERR unknown command %q\n", cmd)
 	}
 	return false
+}
+
+// batchOp is one parsed BATCH body line.
+type batchOp struct {
+	del  bool
+	cell Cell // Val unused for deletes
+}
+
+// handleBatch reads the n body lines of a BATCH request, parses them
+// all, and only then applies them as stripe-grouped runs (each run of
+// consecutive PUTs or DELs is one store batch, so same-cell PUT/DEL
+// sequences keep their order). Nothing is applied if any body line is
+// malformed or the body is truncated. A count that cannot be trusted
+// (unparseable, negative, over maxBatch) closes the connection, since
+// the stream position is no longer unambiguous.
+func (s *Server) handleBatch(conn net.Conn, sc *bufio.Scanner, w *bufio.Writer, parts []string) bool {
+	if len(parts) != 2 {
+		fmt.Fprintln(w, "ERR BATCH wants 1 argument")
+		return false
+	}
+	n, err := strconv.Atoi(parts[1])
+	if err != nil || n < 0 {
+		fmt.Fprintln(w, "ERR bad batch count")
+		return true
+	}
+	if n > s.maxBatch {
+		fmt.Fprintf(w, "ERR batch count %d exceeds limit %d\n", n, s.maxBatch)
+		return true
+	}
+	ops := make([]batchOp, 0, n)
+	var bodyErr error
+	// One deadline covers the whole body: a stalled batch times out as a
+	// unit without paying a deadline syscall per line.
+	if s.idleTimeout > 0 {
+		conn.SetReadDeadline(time.Now().Add(s.idleTimeout))
+	}
+	for i := 0; i < n; i++ {
+		if !sc.Scan() {
+			return true // truncated body: disconnect, apply nothing
+		}
+		if bodyErr != nil {
+			continue // keep consuming to stay in sync
+		}
+		body := strings.Split(sc.Text(), "\t")
+		switch strings.ToUpper(body[0]) {
+		case "PUT":
+			cell, err := parseMutation(body)
+			if err != nil {
+				bodyErr = fmt.Errorf("batch line %d: %v", i+1, err)
+				continue
+			}
+			ops = append(ops, batchOp{cell: cell})
+		case "DEL":
+			if len(body) != 3 {
+				bodyErr = fmt.Errorf("batch line %d: DEL wants 2 arguments", i+1)
+				continue
+			}
+			ops = append(ops, batchOp{del: true, cell: Cell{Row: body[1], Col: body[2]}})
+		default:
+			bodyErr = fmt.Errorf("batch line %d: op must be PUT or DEL", i+1)
+		}
+	}
+	if bodyErr != nil {
+		fmt.Fprintf(w, "ERR %v\n", bodyErr)
+		return false
+	}
+	for start := 0; start < len(ops); {
+		end := start
+		for end < len(ops) && ops[end].del == ops[start].del {
+			end++
+		}
+		if ops[start].del {
+			keys := make([]CellKey, 0, end-start)
+			for _, op := range ops[start:end] {
+				keys = append(keys, CellKey{Row: op.cell.Row, Col: op.cell.Col})
+			}
+			s.store.DeleteBatch(keys)
+		} else {
+			cells := make([]Cell, 0, end-start)
+			for _, op := range ops[start:end] {
+				cells = append(cells, op.cell)
+			}
+			s.store.PutBatch(cells)
+		}
+		start = end
+	}
+	fmt.Fprintf(w, "OK %d\n", n)
+	return false
+}
+
+// parseMutation parses the argument list of a PUT request or BATCH body
+// line into a Cell.
+func parseMutation(parts []string) (Cell, error) {
+	if len(parts) != 5 {
+		return Cell{}, errors.New("PUT wants 4 arguments")
+	}
+	v, err := parseValue(parts[3], parts[4])
+	if err != nil {
+		return Cell{}, err
+	}
+	return Cell{Row: parts[1], Col: parts[2], Val: v}, nil
 }
 
 // ErrNotFound is returned by client lookups of absent cells.

@@ -1,0 +1,307 @@
+package tripled
+
+// server_test.go covers the production-shaping of the service: the
+// BATCH and SCAN/CELLS verbs, batch atomicity, the idle-connection
+// shutdown fix, and the per-connection read deadline.
+
+import (
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/assoc"
+)
+
+func serveTest(t *testing.T, opts ...Option) (*Server, *Client) {
+	t.Helper()
+	srv, err := Serve(NewStore(), "127.0.0.1:0", opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return srv, c
+}
+
+func TestBatchPutDelete(t *testing.T) {
+	srv, c := serveTest(t)
+	cells := make([]Cell, 0, 100)
+	for i := 0; i < 100; i++ {
+		cells = append(cells, Cell{Row: "r" + strconv.Itoa(i), Col: "packets", Val: assoc.Num(float64(i))})
+	}
+	if err := c.PutBatch(cells); err != nil {
+		t.Fatal(err)
+	}
+	if nnz := srv.store.NNZ(); nnz != 100 {
+		t.Fatalf("NNZ after batch = %d", nnz)
+	}
+	if v, _ := srv.store.Get("r42", "packets"); v.Num != 42 {
+		t.Errorf("r42 = %v", v)
+	}
+	keys := make([]CellKey, 0, 50)
+	for i := 0; i < 50; i++ {
+		keys = append(keys, CellKey{Row: "r" + strconv.Itoa(i), Col: "packets"})
+	}
+	keys = append(keys, CellKey{Row: "absent", Col: "absent"}) // not an error
+	if err := c.DeleteBatch(keys); err != nil {
+		t.Fatal(err)
+	}
+	if nnz := srv.store.NNZ(); nnz != 50 {
+		t.Fatalf("NNZ after delete batch = %d", nnz)
+	}
+	verifyStoreInvariants(t, srv.store)
+}
+
+// TestBatchOrderSameCell checks that a PUT/DEL/PUT sequence on one cell
+// inside one BATCH applies in order.
+func TestBatchOrderSameCell(t *testing.T) {
+	srv, c := serveTest(t)
+	p := c.StartPipeline(10)
+	p.Put("r", "c", assoc.Num(1))
+	p.Delete("r", "c")
+	p.Put("r", "c", assoc.Num(3))
+	p.Put("x", "c", assoc.Num(9))
+	p.Delete("x", "c")
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := srv.store.Get("r", "c"); !ok || v.Num != 3 {
+		t.Errorf("cell after PUT/DEL/PUT = %v, %v", v, ok)
+	}
+	if _, ok := srv.store.Get("x", "c"); ok {
+		t.Error("cell after PUT/DEL still present")
+	}
+	if p.Applied() != 5 {
+		t.Errorf("Applied = %d, want 5", p.Applied())
+	}
+}
+
+// TestBatchAtomicOnMalformedBody: a malformed line anywhere in the body
+// must reject the whole batch (one ERR, nothing applied) and leave the
+// connection usable.
+func TestBatchAtomicOnMalformedBody(t *testing.T) {
+	srv, c := serveTest(t)
+	fmt.Fprintf(c.w, "BATCH\t3\nPUT\ta\tb\tn\t1\nWAT\nPUT\tc\td\tn\t2\n")
+	resp, err := c.recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(resp, "ERR ") {
+		t.Fatalf("malformed batch got %q", resp)
+	}
+	if nnz := srv.store.NNZ(); nnz != 0 {
+		t.Errorf("malformed batch applied %d cells", nnz)
+	}
+	// Connection still in sync.
+	if err := c.Put("ok", "ok", assoc.Num(1)); err != nil {
+		t.Fatalf("connection unusable after batch ERR: %v", err)
+	}
+}
+
+// TestBatchOversizedCountDisconnects: a count over the server limit is
+// refused with ERR and a clean disconnect, never a body read.
+func TestBatchOversizedCountDisconnects(t *testing.T) {
+	_, c := serveTest(t, WithMaxBatch(8))
+	resp, err := c.roundTrip("BATCH\t1000000000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(resp, "ERR ") {
+		t.Fatalf("oversized batch got %q", resp)
+	}
+	if _, err := c.roundTrip("NNZ"); err == nil {
+		t.Error("connection survived oversized batch count")
+	}
+}
+
+func TestScanPaging(t *testing.T) {
+	srv, c := serveTest(t)
+	for i := 0; i < 25; i++ {
+		srv.store.Put(fmt.Sprintf("r%02d", i), "c", assoc.Num(1))
+	}
+	var got []string
+	cursor := ""
+	pages := 0
+	for {
+		page, err := c.ScanRows("r00", "r20", 7, cursor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, page...)
+		pages++
+		if len(page) < 7 {
+			break
+		}
+		cursor = page[len(page)-1]
+	}
+	if len(got) != 20 || pages != 3 {
+		t.Fatalf("paged scan returned %d rows in %d pages", len(got), pages)
+	}
+	for i, r := range got {
+		if want := fmt.Sprintf("r%02d", i); r != want {
+			t.Fatalf("row %d = %q, want %q", i, r, want)
+		}
+	}
+	all, err := c.ScanAllRows("", "", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 25 {
+		t.Errorf("ScanAllRows = %d rows", len(all))
+	}
+}
+
+func TestCellsExportRoundTrip(t *testing.T) {
+	srv, c := serveTest(t)
+	a := assoc.New()
+	for i := 0; i < 40; i++ {
+		row := "ip" + strconv.Itoa(i)
+		a.Set(row, "packets", assoc.Num(float64(i)*1.5))
+		a.Set(row, "class", assoc.Str("scanner"))
+	}
+	if err := c.PublishAssoc("t1/", a, 16); err != nil {
+		t.Fatal(err)
+	}
+	if srv.store.NNZ() != a.NNZ() {
+		t.Fatalf("published %d cells, store has %d", a.NNZ(), srv.store.NNZ())
+	}
+	back, err := c.FetchAssoc("t1/", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NNZ() != a.NNZ() {
+		t.Fatalf("fetched %d cells, want %d", back.NNZ(), a.NNZ())
+	}
+	a.Iterate(func(r, col string, v assoc.Value) bool {
+		if got, ok := back.Get(r, col); !ok || got != v {
+			t.Errorf("cell (%s,%s) = %v, want %v", r, col, got, v)
+		}
+		return true
+	})
+}
+
+// TestCloseWithIdleClient is the regression test for the shutdown hang:
+// an idle connection that never sends anything must not block
+// Server.Close.
+func TestCloseWithIdleClient(t *testing.T) {
+	srv, err := Serve(NewStore(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	done := make(chan error, 1)
+	go func() { done <- srv.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Close = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Server.Close hung on an idle client connection")
+	}
+}
+
+// TestIdleTimeoutDropsConnection: the per-connection read deadline must
+// disconnect silent clients on its own.
+func TestIdleTimeoutDropsConnection(t *testing.T) {
+	srv, err := Serve(NewStore(), "127.0.0.1:0", WithIdleTimeout(50*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("idle connection was not dropped")
+	}
+}
+
+// TestPipelineRecoversAfterBatchErr: a server-side batch rejection
+// mid-pipeline must surface as the Flush error while the remaining
+// in-flight acks are drained, leaving the connection usable.
+func TestPipelineRecoversAfterBatchErr(t *testing.T) {
+	srv, c := serveTest(t)
+	p := c.StartPipeline(2)
+	// Forge a malformed op into the first batch (the public API cannot
+	// produce one; this simulates a server that rejects a batch).
+	p.body = append(p.body, "BOGUS\tx\n"...)
+	p.count++
+	p.Put("r1", "c", assoc.Num(1)) // completes batch 1 (rejected)
+	for i := 0; i < 6; i++ {       // batches 2..4, all good
+		p.Put(fmt.Sprintf("g%d", i), "c", assoc.Num(1))
+	}
+	err := p.Close()
+	if err == nil || !strings.Contains(err.Error(), "batch line") {
+		t.Fatalf("Close after rejected batch = %v", err)
+	}
+	if err := c.Put("after", "c", assoc.Num(2)); err != nil {
+		t.Fatalf("connection desynced after batch rejection: %v", err)
+	}
+	if v, ok := srv.store.Get("after", "c"); !ok || v.Num != 2 {
+		t.Errorf("post-error Put lost: %v, %v", v, ok)
+	}
+}
+
+// TestPublishReplacesPrefix: republishing a table under the same prefix
+// must replace the old cells, not union with them — the byte-identical
+// artifact guarantee against a long-lived store depends on it.
+func TestPublishReplacesPrefix(t *testing.T) {
+	srv, c := serveTest(t)
+	first := assoc.New()
+	first.Set("r1", "packets", assoc.Num(1))
+	first.Set("r2", "packets", assoc.Num(2))
+	if err := c.PublishAssoc("t/", first, 8); err != nil {
+		t.Fatal(err)
+	}
+	second := assoc.New()
+	second.Set("r3", "packets", assoc.Num(3))
+	if err := c.PublishAssoc("t/", second, 8); err != nil {
+		t.Fatal(err)
+	}
+	back, err := c.FetchAssoc("t/", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NNZ() != 1 {
+		t.Fatalf("republished prefix holds %d cells, want 1 (stale union?)", back.NNZ())
+	}
+	if v, ok := back.Get("r3", "packets"); !ok || v.Num != 3 {
+		t.Errorf("republished table = %v, %v", v, ok)
+	}
+	if srv.store.NNZ() != 1 {
+		t.Errorf("store NNZ = %d after replace", srv.store.NNZ())
+	}
+}
+
+// TestPipelineRejectsTabs: tabs in keys or values would shift the wire
+// fields of a BATCH body; the pipeline must refuse them client-side.
+func TestPipelineRejectsTabs(t *testing.T) {
+	_, c := serveTest(t)
+	if err := c.PutBatch([]Cell{{Row: "a\tb", Col: "c", Val: assoc.Num(1)}}); err == nil {
+		t.Error("tab row accepted")
+	}
+	if err := c.PutBatch([]Cell{{Row: "r", Col: "c", Val: assoc.Str("with\ttab")}}); err == nil {
+		t.Error("tab value accepted")
+	}
+	// Rejection happens before anything is sent: the client stays usable.
+	if err := c.Put("ok", "ok", assoc.Num(1)); err != nil {
+		t.Fatalf("connection unusable after client-side rejection: %v", err)
+	}
+}

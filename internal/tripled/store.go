@@ -6,86 +6,168 @@
 // per-row and per-column cell counts, the trick that makes "top-K
 // heaviest sources" queries cheap at honeyfarm scale.
 //
-// The store is in-memory with an append-only change log for
-// persistence, and package server.go exposes it over a line-oriented
-// TCP protocol.
+// The store is sharded across stripes keyed by row hash: each stripe
+// has its own lock, row/column indexes, and degree tables, so writers
+// on different rows never contend. Column queries and degree-table
+// reads merge the per-stripe tables on demand. The store is in-memory
+// with an append-only change log for persistence, and server.go exposes
+// it over a line-oriented TCP protocol.
 package tripled
 
 import (
 	"bufio"
 	"fmt"
+	"hash/maphash"
 	"io"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/assoc"
 )
 
-// Store is a concurrency-safe triple store. The zero value is not
-// usable; call NewStore.
-type Store struct {
-	mu      sync.RWMutex
-	rows    map[string]map[string]assoc.Value // row -> col -> value
-	cols    map[string]map[string]assoc.Value // col -> row -> value (transpose index)
-	rowDeg  map[string]int                    // degree table: cells per row
-	colDeg  map[string]int                    // degree table: cells per column
-	nnz     int
-	version uint64 // bumped on every mutation
+// DefaultStripes is the stripe count of NewStore, enough that a
+// handful of ingest connections rarely collide on a lock.
+const DefaultStripes = 16
+
+// Cell is one (row, col, value) triple, the unit of batched mutation.
+type Cell struct {
+	Row, Col string
+	Val      assoc.Value
 }
 
-// NewStore returns an empty store.
-func NewStore() *Store {
-	return &Store{
-		rows:   make(map[string]map[string]assoc.Value),
-		cols:   make(map[string]map[string]assoc.Value),
-		rowDeg: make(map[string]int),
-		colDeg: make(map[string]int),
+// CellKey addresses a cell without its value, the unit of batched
+// deletion.
+type CellKey struct {
+	Row, Col string
+}
+
+// stripe is one shard of the table: a full row index plus the
+// transpose index restricted to this stripe's rows. Degree tables are
+// not materialized — a row's degree is len(rows[row]) and a column's
+// per-stripe degree is len(cols[col]), merged on demand — so mutations
+// touch two maps, not four.
+type stripe struct {
+	mu   sync.RWMutex
+	rows map[string]map[string]assoc.Value // row -> col -> value
+	cols map[string]map[string]assoc.Value // col -> row -> value (transpose)
+	nnz  int
+}
+
+// Store is a concurrency-safe triple store sharded over row-hash
+// stripes. The zero value is not usable; call NewStore.
+type Store struct {
+	stripes []*stripe
+	seed    maphash.Seed
+	version atomic.Uint64 // bumped on every mutation
+}
+
+// NewStore returns an empty store with DefaultStripes stripes.
+func NewStore() *Store { return NewStoreStripes(DefaultStripes) }
+
+// NewStoreStripes returns an empty store sharded over n stripes.
+// n = 1 degenerates to a single-lock store, the serial oracle the
+// concurrency tests diff against.
+func NewStoreStripes(n int) *Store {
+	if n < 1 {
+		n = 1
 	}
+	s := &Store{stripes: make([]*stripe, n), seed: maphash.MakeSeed()}
+	for i := range s.stripes {
+		s.stripes[i] = &stripe{
+			rows: make(map[string]map[string]assoc.Value),
+			cols: make(map[string]map[string]assoc.Value),
+		}
+	}
+	return s
+}
+
+// Stripes returns the stripe count.
+func (s *Store) Stripes() int { return len(s.stripes) }
+
+func (s *Store) stripeFor(row string) *stripe {
+	if len(s.stripes) == 1 {
+		return s.stripes[0]
+	}
+	return s.stripes[maphash.String(s.seed, row)%uint64(len(s.stripes))]
 }
 
 // Put stores v at (row, col), replacing any existing value.
 func (s *Store) Put(row, col string, v assoc.Value) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.putLocked(row, col, v)
+	st := s.stripeFor(row)
+	st.mu.Lock()
+	st.put(row, col, v)
+	st.mu.Unlock()
+	s.version.Add(1)
 }
 
-func (s *Store) putLocked(row, col string, v assoc.Value) {
-	r, ok := s.rows[row]
+func (st *stripe) put(row, col string, v assoc.Value) {
+	r, ok := st.rows[row]
 	if !ok {
 		r = make(map[string]assoc.Value)
-		s.rows[row] = r
+		st.rows[row] = r
 	}
 	if _, exists := r[col]; !exists {
-		s.nnz++
-		s.rowDeg[row]++
-		s.colDeg[col]++
+		st.nnz++
 	}
 	r[col] = v
 
-	c, ok := s.cols[col]
+	c, ok := st.cols[col]
 	if !ok {
 		c = make(map[string]assoc.Value)
-		s.cols[col] = c
+		st.cols[col] = c
 	}
 	c[row] = v
-	s.version++
+}
+
+// PutBatch stores every cell. The stripe lock is held across runs of
+// consecutive same-stripe cells (table iterations arrive row-major, so
+// a whole row's cells share one acquisition) instead of once per cell.
+func (s *Store) PutBatch(cells []Cell) {
+	if len(cells) == 0 {
+		return
+	}
+	var cur *stripe
+	for i := range cells {
+		st := s.stripeFor(cells[i].Row)
+		if st != cur {
+			if cur != nil {
+				cur.mu.Unlock()
+			}
+			st.mu.Lock()
+			cur = st
+		}
+		cur.put(cells[i].Row, cells[i].Col, cells[i].Val)
+	}
+	cur.mu.Unlock()
+	s.version.Add(uint64(len(cells)))
 }
 
 // Get returns the value at (row, col).
 func (s *Store) Get(row, col string) (assoc.Value, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	v, ok := s.rows[row][col]
+	st := s.stripeFor(row)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	v, ok := st.rows[row][col]
 	return v, ok
 }
 
 // Delete removes the cell if present and reports whether it existed.
 func (s *Store) Delete(row, col string) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	r, ok := s.rows[row]
+	st := s.stripeFor(row)
+	st.mu.Lock()
+	ok := st.del(row, col)
+	st.mu.Unlock()
+	if ok {
+		s.version.Add(1)
+	}
+	return ok
+}
+
+func (st *stripe) del(row, col string) bool {
+	r, ok := st.rows[row]
 	if !ok {
 		return false
 	}
@@ -94,36 +176,62 @@ func (s *Store) Delete(row, col string) bool {
 	}
 	delete(r, col)
 	if len(r) == 0 {
-		delete(s.rows, row)
+		delete(st.rows, row)
 	}
-	c := s.cols[col]
+	c := st.cols[col]
 	delete(c, row)
 	if len(c) == 0 {
-		delete(s.cols, col)
+		delete(st.cols, col)
 	}
-	s.nnz--
-	if s.rowDeg[row]--; s.rowDeg[row] == 0 {
-		delete(s.rowDeg, row)
-	}
-	if s.colDeg[col]--; s.colDeg[col] == 0 {
-		delete(s.colDeg, col)
-	}
-	s.version++
+	st.nnz--
 	return true
+}
+
+// DeleteBatch removes every addressed cell, with the same run-wise
+// stripe locking as PutBatch, and returns how many existed.
+func (s *Store) DeleteBatch(keys []CellKey) int {
+	if len(keys) == 0 {
+		return 0
+	}
+	deleted := 0
+	var cur *stripe
+	for _, k := range keys {
+		st := s.stripeFor(k.Row)
+		if st != cur {
+			if cur != nil {
+				cur.mu.Unlock()
+			}
+			st.mu.Lock()
+			cur = st
+		}
+		if cur.del(k.Row, k.Col) {
+			deleted++
+		}
+	}
+	cur.mu.Unlock()
+	if deleted > 0 {
+		s.version.Add(uint64(deleted))
+	}
+	return deleted
 }
 
 // NNZ returns the number of stored cells.
 func (s *Store) NNZ() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.nnz
+	n := 0
+	for _, st := range s.stripes {
+		st.mu.RLock()
+		n += st.nnz
+		st.mu.RUnlock()
+	}
+	return n
 }
 
 // Row returns a copy of one row (nil if absent).
 func (s *Store) Row(row string) map[string]assoc.Value {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	r, ok := s.rows[row]
+	st := s.stripeFor(row)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	r, ok := st.rows[row]
 	if !ok {
 		return nil
 	}
@@ -134,17 +242,19 @@ func (s *Store) Row(row string) map[string]assoc.Value {
 	return out
 }
 
-// Col returns a copy of one column via the transpose index.
+// Col returns a copy of one column, merged across the per-stripe
+// transpose indexes (nil if absent everywhere).
 func (s *Store) Col(col string) map[string]assoc.Value {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	c, ok := s.cols[col]
-	if !ok {
-		return nil
-	}
-	out := make(map[string]assoc.Value, len(c))
-	for r, v := range c {
-		out[r] = v
+	var out map[string]assoc.Value
+	for _, st := range s.stripes {
+		st.mu.RLock()
+		for r, v := range st.cols[col] {
+			if out == nil {
+				out = make(map[string]assoc.Value)
+			}
+			out[r] = v
+		}
+		st.mu.RUnlock()
 	}
 	return out
 }
@@ -152,41 +262,136 @@ func (s *Store) Col(col string) map[string]assoc.Value {
 // RowRange returns the sorted row keys in [start, end). An empty end
 // means unbounded.
 func (s *Store) RowRange(start, end string) []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	rows, _ := s.ScanRows(start, end, 0, "")
+	return rows
+}
+
+// ScanRows is the paged form of RowRange: it returns up to limit sorted
+// row keys r with r >= start, r < end (empty end = unbounded), and
+// r > cursor when cursor is non-empty. A limit <= 0 means unlimited.
+// The second result reports whether more rows remain past the page —
+// pass the last returned key back as the cursor to continue. Paged
+// selection keeps only the limit smallest matches in a bounded max-heap
+// (O(rows log limit) per page, no full sort of the tail).
+func (s *Store) ScanRows(start, end string, limit int, cursor string) ([]string, bool) {
 	var out []string
-	for r := range s.rows {
-		if r >= start && (end == "" || r < end) {
-			out = append(out, r)
+	matched := 0
+	for _, st := range s.stripes {
+		st.mu.RLock()
+		for r := range st.rows {
+			if r < start || (end != "" && r >= end) || (cursor != "" && r <= cursor) {
+				continue
+			}
+			matched++
+			if limit <= 0 || len(out) < limit {
+				out = append(out, r)
+				heapUp(out)
+			} else if r < out[0] {
+				out[0] = r
+				heapDown(out)
+			}
 		}
+		st.mu.RUnlock()
 	}
 	sort.Strings(out)
-	return out
+	return out, limit > 0 && matched > limit
+}
+
+// heapUp restores the string max-heap property after appending to h.
+func heapUp(h []string) {
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[parent] >= h[i] {
+			return
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
+}
+
+// heapDown restores the max-heap property after replacing h[0].
+func heapDown(h []string) {
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < len(h) && h[l] > h[big] {
+			big = l
+		}
+		if r < len(h) && h[r] > h[big] {
+			big = r
+		}
+		if big == i {
+			return
+		}
+		h[i], h[big] = h[big], h[i]
+		i = big
+	}
+}
+
+// ScanCells returns every cell of up to limit rows of the paged row
+// scan defined by ScanRows, sorted by (row, col), plus the more flag.
+// It is the bulk-export query: one round trip per page instead of one
+// ROW query per key. A row deleted between the page selection and its
+// cell read simply drops from the page (each row's cells are read
+// atomically); if every selected row vanished that way, the scan
+// advances past them rather than returning a spurious end-of-scan.
+func (s *Store) ScanCells(start, end string, limit int, cursor string) ([]Cell, bool) {
+	for {
+		rows, more := s.ScanRows(start, end, limit, cursor)
+		var out []Cell
+		for _, r := range rows {
+			cells := s.Row(r)
+			cols := make([]string, 0, len(cells))
+			for c := range cells {
+				cols = append(cols, c)
+			}
+			sort.Strings(cols)
+			for _, c := range cols {
+				out = append(out, Cell{Row: r, Col: c, Val: cells[c]})
+			}
+		}
+		if len(out) > 0 || !more {
+			return out, more
+		}
+		cursor = rows[len(rows)-1] // whole page deleted concurrently: skip it
+	}
 }
 
 // RowDegree returns the degree-table entry for a row (0 if absent).
 func (s *Store) RowDegree(row string) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.rowDeg[row]
+	st := s.stripeFor(row)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return len(st.rows[row])
 }
 
-// ColDegree returns the degree-table entry for a column.
+// ColDegree returns the degree-table entry for a column, summed over
+// the per-stripe transpose indexes.
 func (s *Store) ColDegree(col string) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.colDeg[col]
+	d := 0
+	for _, st := range s.stripes {
+		st.mu.RLock()
+		d += len(st.cols[col])
+		st.mu.RUnlock()
+	}
+	return d
 }
 
 // TopRowsByDegree returns up to k (row, degree) pairs with the largest
 // degrees, ties broken lexicographically — the degree-table query D4M
 // deployments use to find the heaviest sources without scanning values.
+// Rows live wholly inside one stripe, so the per-stripe degree tables
+// are concatenated, not summed.
 func (s *Store) TopRowsByDegree(k int) []RowDegree {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]RowDegree, 0, len(s.rowDeg))
-	for r, d := range s.rowDeg {
-		out = append(out, RowDegree{Row: r, Degree: d})
+	var out []RowDegree
+	for _, st := range s.stripes {
+		st.mu.RLock()
+		for r, cells := range st.rows {
+			out = append(out, RowDegree{Row: r, Degree: len(cells)})
+		}
+		st.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Degree != out[j].Degree {
@@ -208,54 +413,73 @@ type RowDegree struct {
 
 // LoadAssoc bulk-inserts an associative array.
 func (s *Store) LoadAssoc(a *assoc.Assoc) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	cells := make([]Cell, 0, a.NNZ())
 	a.Iterate(func(row, col string, v assoc.Value) bool {
-		s.putLocked(row, col, v)
+		cells = append(cells, Cell{Row: row, Col: col, Val: v})
 		return true
 	})
+	s.PutBatch(cells)
 }
 
-// ToAssoc exports the full table as an associative array.
+// rlockAll read-locks every stripe in index order, giving callers an
+// atomic snapshot of the whole table; runlockAll releases them.
+func (s *Store) rlockAll() {
+	for _, st := range s.stripes {
+		st.mu.RLock()
+	}
+}
+
+func (s *Store) runlockAll() {
+	for _, st := range s.stripes {
+		st.mu.RUnlock()
+	}
+}
+
+// ToAssoc exports the full table as an associative array. The export
+// is an atomic snapshot: all stripes are held read-locked for its
+// duration, so no concurrent mutation can tear it.
 func (s *Store) ToAssoc() *assoc.Assoc {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.rlockAll()
+	defer s.runlockAll()
 	out := assoc.New()
-	for row, r := range s.rows {
-		for col, v := range r {
-			out.Set(row, col, v)
+	for _, st := range s.stripes {
+		for row, r := range st.rows {
+			for col, v := range r {
+				out.Set(row, col, v)
+			}
 		}
 	}
 	return out
 }
 
 // Version returns the mutation counter, for cache invalidation.
-func (s *Store) Version() uint64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.version
-}
+func (s *Store) Version() uint64 { return s.version.Load() }
 
 // WriteLog appends the entire table to w as replayable PUT records (the
 // persistence format: one "P<TAB>row<TAB>col<TAB>type<TAB>value" line
-// per cell).
+// per cell). Like ToAssoc, the log is an atomic snapshot: every stripe
+// stays read-locked until the last record is buffered, so the log
+// always corresponds to a state the store actually held.
 func (s *Store) WriteLog(w io.Writer) error {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.rlockAll()
+	defer s.runlockAll()
 	bw := bufio.NewWriter(w)
-	rows := make([]string, 0, len(s.rows))
-	for r := range s.rows {
-		rows = append(rows, r)
+	var rows []string
+	for _, st := range s.stripes {
+		for r := range st.rows {
+			rows = append(rows, r)
+		}
 	}
 	sort.Strings(rows)
 	for _, row := range rows {
-		cols := make([]string, 0, len(s.rows[row]))
-		for c := range s.rows[row] {
+		cells := s.stripeFor(row).rows[row]
+		cols := make([]string, 0, len(cells))
+		for c := range cells {
 			cols = append(cols, c)
 		}
 		sort.Strings(cols)
 		for _, col := range cols {
-			v := s.rows[row][col]
+			v := cells[col]
 			marker := "s"
 			if v.Numeric {
 				marker = "n"
@@ -274,6 +498,7 @@ func (s *Store) ReplayLog(r io.Reader) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<24)
 	line := 0
+	batch := make([]Cell, 0, 1024)
 	for sc.Scan() {
 		line++
 		text := sc.Text()
@@ -288,16 +513,21 @@ func (s *Store) ReplayLog(r io.Reader) error {
 		if err != nil {
 			return fmt.Errorf("tripled: log line %d: %w", line, err)
 		}
-		s.Put(parts[1], parts[2], v)
+		batch = append(batch, Cell{Row: parts[1], Col: parts[2], Val: v})
+		if len(batch) == cap(batch) {
+			s.PutBatch(batch)
+			batch = batch[:0]
+		}
 	}
+	s.PutBatch(batch)
 	return sc.Err()
 }
 
 func parseValue(marker, raw string) (assoc.Value, error) {
 	switch marker {
 	case "n":
-		var f float64
-		if _, err := fmt.Sscanf(raw, "%g", &f); err != nil {
+		f, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
 			return assoc.Value{}, fmt.Errorf("bad number %q", raw)
 		}
 		return assoc.Num(f), nil
