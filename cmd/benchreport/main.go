@@ -1,0 +1,365 @@
+// Command benchreport measures the window-build hot path and emits (or
+// checks) the BENCH_hotpath.json baseline the perf trajectory is judged
+// against: packets/sec, ns/op, and allocs/op for engine window capture,
+// leaf build, hierarchical merge, and the fused netquant reduction.
+//
+// Usage:
+//
+//	benchreport [-out FILE] [-check FILE] [-quick] [-max-regress 0.20]
+//
+// With -out, a fresh report is written as JSON. With -check, the same
+// measurements run and then gate against the committed baseline:
+//
+//   - allocs/op gates are absolute (machine-independent): steady-state
+//     leaf build <= 8, pooled window merge <= 8.
+//   - the pooled k-way merge must beat the allocate-per-level Add tree
+//     (merge_speedup >= the baseline's gate, machine-independent).
+//   - packets/sec metrics must not regress more than -max-regress
+//     (default 20%) below the committed baseline values.
+//
+// CI runs `benchreport -quick -check BENCH_hotpath_quick.json
+// -max-regress 0.5` (the committed quick-scale baseline, with a wide
+// cross-machine margin) so a hot-path regression fails the build;
+// BENCH_hotpath.json is the full-scale same-machine trajectory record.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/hypersparse"
+	"repro/internal/netquant"
+	"repro/internal/radiation"
+	"repro/internal/stats"
+	"repro/internal/telescope"
+)
+
+// Metric is one benchmark's result row.
+type Metric struct {
+	NsOp     float64 `json:"ns_op"`
+	AllocsOp float64 `json:"allocs_op"`
+	BytesOp  float64 `json:"bytes_op"`
+	// ItemsPerSec is packets/sec for window benches, entries/sec for
+	// matrix benches.
+	ItemsPerSec float64 `json:"items_per_sec,omitempty"`
+}
+
+// Report is the BENCH_hotpath.json schema.
+type Report struct {
+	Schema     string            `json:"schema"`
+	Generated  string            `json:"generated"`
+	GoVersion  string            `json:"go"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Quick      bool              `json:"quick"`
+	Metrics    map[string]Metric `json:"metrics"`
+	// MergeSpeedup is the pooled k-way merge's advantage over the
+	// allocate-per-level Add tree on identical leaves (machine-relative,
+	// measured in-process).
+	MergeSpeedup float64 `json:"merge_speedup"`
+	Gates        Gates   `json:"gates"`
+	// Seed preserves the pre-refactor measurements this PR started from,
+	// so the trajectory keeps its origin even as the baseline moves.
+	Seed map[string]Metric `json:"seed,omitempty"`
+}
+
+// Gates are the machine-independent pass bars -check enforces.
+type Gates struct {
+	LeafBuildAllocsMax float64 `json:"leaf_build_allocs_max"`
+	WindowMergeAllocs  float64 `json:"window_merge_allocs_max"`
+	MergeSpeedupMin    float64 `json:"merge_speedup_min"`
+	NetquantAllocsMax  float64 `json:"netquant_allocs_max"`
+}
+
+func defaultGates() Gates {
+	return Gates{
+		LeafBuildAllocsMax: 8,
+		WindowMergeAllocs:  8,
+		// The pooled merge's guarantee is allocation-freedom at equal or
+		// better speed; the >= 2x hot-path gate (builder + merge
+		// combined) lives in hypersparse's TestWindowBuildSpeedup. The
+		// floor sits 10% under parity to absorb timer noise on loaded
+		// CI machines.
+		MergeSpeedupMin:   0.9,
+		NetquantAllocsMax: 8,
+	}
+}
+
+func main() {
+	var (
+		out        = flag.String("out", "", "write the report JSON to this file ('-' = stdout)")
+		check      = flag.String("check", "", "compare against this committed baseline JSON and exit non-zero on regression")
+		quick      = flag.Bool("quick", false, "small fixture for CI smoke (2^14-packet windows)")
+		maxRegress = flag.Float64("max-regress", 0.20, "allowed fractional packets/sec regression vs the baseline")
+	)
+	flag.Parse()
+	if *out == "" && *check == "" {
+		*out = "-"
+	}
+
+	rep := measure(*quick)
+
+	if *out != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		buf = append(buf, '\n')
+		if *out == "-" {
+			os.Stdout.Write(buf)
+		} else if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if *check != "" {
+		base, err := loadReport(*check)
+		if err != nil {
+			log.Fatalf("benchreport: load baseline: %v", err)
+		}
+		if errs := compare(rep, base, *maxRegress); len(errs) > 0 {
+			for _, e := range errs {
+				fmt.Fprintln(os.Stderr, "FAIL:", e)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("benchreport: all gates pass against %s (merge speedup %.2fx)\n", *check, rep.MergeSpeedup)
+	}
+}
+
+func loadReport(path string) (*Report, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(buf, &r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// compare enforces the gates: absolute alloc budgets and the merge
+// speedup from the fresh run, throughput regression vs the baseline.
+func compare(fresh, base *Report, maxRegress float64) []string {
+	var errs []string
+	g := base.Gates
+	checkAllocs := func(name string, max float64) {
+		m, ok := fresh.Metrics[name]
+		if !ok {
+			errs = append(errs, fmt.Sprintf("metric %q missing from fresh run", name))
+			return
+		}
+		if m.AllocsOp > max {
+			errs = append(errs, fmt.Sprintf("%s: %.1f allocs/op exceeds gate %.0f", name, m.AllocsOp, max))
+		}
+	}
+	checkAllocs("leaf_build", g.LeafBuildAllocsMax)
+	checkAllocs("window_merge_pooled", g.WindowMergeAllocs)
+	checkAllocs("netquant_fused", g.NetquantAllocsMax)
+	if fresh.MergeSpeedup < g.MergeSpeedupMin {
+		errs = append(errs, fmt.Sprintf("merge_speedup %.2fx below gate %.2fx", fresh.MergeSpeedup, g.MergeSpeedupMin))
+	}
+	if fresh.Quick != base.Quick {
+		// Throughput is only comparable at the same fixture scale; the
+		// alloc and speedup gates above are scale-robust and still ran.
+		fmt.Printf("benchreport: scale mismatch (fresh quick=%v, baseline quick=%v); skipping items/s regression check\n",
+			fresh.Quick, base.Quick)
+		return errs
+	}
+	for name, bm := range base.Metrics {
+		if bm.ItemsPerSec == 0 {
+			continue
+		}
+		fm, ok := fresh.Metrics[name]
+		if !ok {
+			errs = append(errs, fmt.Sprintf("metric %q missing from fresh run", name))
+			continue
+		}
+		floor := bm.ItemsPerSec * (1 - maxRegress)
+		if fm.ItemsPerSec < floor {
+			errs = append(errs, fmt.Sprintf("%s: %.0f items/s regressed more than %.0f%% from baseline %.0f",
+				name, fm.ItemsPerSec, maxRegress*100, bm.ItemsPerSec))
+		}
+	}
+	return errs
+}
+
+// benchEntries synthesizes window-shaped triples: heavy-tailed sources
+// over 2^32, destinations inside one /8 (the darkspace).
+func benchEntries(leaves, perLeaf int) [][]hypersparse.Entry {
+	rng := uint64(0x9E3779B97F4A7C15)
+	next := func() uint32 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return uint32(rng)
+	}
+	hot := make([]uint32, 64)
+	for i := range hot {
+		hot[i] = next()
+	}
+	out := make([][]hypersparse.Entry, leaves)
+	for l := range out {
+		es := make([]hypersparse.Entry, perLeaf)
+		for i := range es {
+			row := next()
+			if next()%4 != 0 {
+				row = hot[next()%uint32(len(hot))]
+			}
+			es[i] = hypersparse.Entry{Row: row, Col: 0x2C000000 | next()&0x00FFFFFF, Val: 1}
+		}
+		out[l] = es
+	}
+	return out
+}
+
+func toMetric(r testing.BenchmarkResult, items int) Metric {
+	m := Metric{
+		NsOp:     float64(r.NsPerOp()),
+		AllocsOp: float64(r.AllocsPerOp()),
+		BytesOp:  float64(r.AllocedBytesPerOp()),
+	}
+	if items > 0 && r.T > 0 {
+		m.ItemsPerSec = float64(items) * float64(r.N) / r.T.Seconds()
+	}
+	return m
+}
+
+func measure(quick bool) *Report {
+	leafSize := 1 << 12
+	leaves := 16
+	nv := 1 << 16
+	sources := 40000
+	if quick {
+		leafSize = 1 << 10
+		leaves = 8
+		nv = 1 << 14
+		sources = 10000
+	}
+	rep := &Report{
+		Schema:     "bench_hotpath/v1",
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Quick:      quick,
+		Metrics:    map[string]Metric{},
+		Gates:      defaultGates(),
+	}
+
+	es := benchEntries(leaves, leafSize)
+
+	// Steady-state leaf build: one retained builder, entries appended and
+	// compiled per leaf.
+	builder := hypersparse.NewBuilder(leafSize)
+	rep.Metrics["leaf_build"] = toMetric(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, e := range es[i%len(es)] {
+				builder.Add(e.Row, e.Col, e.Val)
+			}
+			builder.Build()
+		}
+	}), leafSize)
+
+	mats := make([]*hypersparse.Matrix, len(es))
+	totalEntries := 0
+	for i, entries := range es {
+		mats[i] = hypersparse.FromEntries(entries)
+		totalEntries += mats[i].NNZ()
+	}
+
+	// Pooled k-way merge vs the allocate-per-level Add tree.
+	var dst hypersparse.Matrix
+	hypersparse.SumInto(&dst, mats...)
+	pooled := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			hypersparse.SumInto(&dst, mats...)
+		}
+	})
+	rep.Metrics["window_merge_pooled"] = toMetric(pooled, totalEntries)
+	addTree := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cur := append([]*hypersparse.Matrix(nil), mats...)
+			for len(cur) > 1 {
+				next := cur[:0:0]
+				for j := 0; j < len(cur); j += 2 {
+					if j+1 == len(cur) {
+						next = append(next, cur[j])
+					} else {
+						next = append(next, hypersparse.Add(cur[j], cur[j+1]))
+					}
+				}
+				cur = next
+			}
+		}
+	})
+	rep.Metrics["window_merge_addtree"] = toMetric(addTree, totalEntries)
+	if pooled.NsPerOp() > 0 {
+		rep.MergeSpeedup = float64(addTree.NsPerOp()) / float64(pooled.NsPerOp())
+	}
+
+	// Fused Table II reduction on the merged window.
+	window := hypersparse.HierSum(mats, 0)
+	netquant.Compute(window) // warm the column-scan pool
+	rep.Metrics["netquant_fused"] = toMetric(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			netquant.Compute(window)
+		}
+	}), window.NNZ())
+
+	// Engine windows: cold (fresh telescope per window, the historical
+	// BenchmarkEngineWindow shape) and steady (telescope reused).
+	cfg := radiation.DefaultConfig()
+	cfg.NumSources = sources
+	cfg.ZM = stats.PaperZM(1 << 14)
+	pop, err := radiation.NewPopulation(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, w := range []int{1, 8} {
+		w := w
+		rep.Metrics[fmt.Sprintf("engine_window_cold_w%d", w)] = toMetric(testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tel := telescope.New(cfg.Darkspace, "bench-key", telescope.WithLeafSize(leafSize))
+				capture(b, tel, pop, nv, w)
+			}
+		}), nv)
+		tel := telescope.New(cfg.Darkspace, "bench-key", telescope.WithLeafSize(leafSize))
+		capture(nil, tel, pop, nv, w) // warm anonymization caches
+		rep.Metrics[fmt.Sprintf("engine_window_steady_w%d", w)] = toMetric(testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				capture(b, tel, pop, nv, w)
+			}
+		}), nv)
+	}
+	return rep
+}
+
+func capture(b *testing.B, tel *telescope.Telescope, pop *radiation.Population, nv, workers int) {
+	w, err := tel.CaptureWindowEngine(context.Background(),
+		pop.TelescopeStream(4.5, time.Unix(0, 0)), nv, workers, 0)
+	if err != nil {
+		if b != nil {
+			b.Fatal(err)
+		}
+		log.Fatal(err)
+	}
+	if w.NV != nv {
+		if b != nil {
+			b.Fatalf("short window: %d", w.NV)
+		}
+		log.Fatalf("short window: %d", w.NV)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"math"
 	"os"
 	"os/signal"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/stats"
@@ -81,10 +82,15 @@ func main() {
 	defer stop()
 	log.Printf("running study (NV=%d, %d sources, workers=%d)...",
 		cfg.NV, cfg.Radiation.NumSources, cfg.Workers)
+	runStart := time.Now()
 	res, err := pipe.RunContext(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
+	elapsed := time.Since(runStart)
+	log.Printf("study complete in %s: %d windows x %d packets through the engine hot path (%.0f pkts/s wall, whole study)",
+		elapsed.Round(time.Millisecond), len(res.Windows), cfg.NV,
+		float64(len(res.Windows)*cfg.NV)/elapsed.Seconds())
 
 	var checks []check
 

@@ -24,11 +24,14 @@ type cacheShard struct {
 	m  map[ipaddr.Addr]ipaddr.Addr
 }
 
-// NewCached wraps a in a concurrency-safe memo table.
+// NewCached wraps a in a concurrency-safe memo table. Shard maps are
+// pre-sized for the hundreds of thousands of distinct addresses a
+// window holds, skipping the incremental-rehash churn of growing 64
+// maps from empty on every cold capture.
 func NewCached(a *Anonymizer) *Cached {
 	c := &Cached{inner: a}
 	for i := range c.shards {
-		c.shards[i].m = make(map[ipaddr.Addr]ipaddr.Addr)
+		c.shards[i].m = make(map[ipaddr.Addr]ipaddr.Addr, 1<<10)
 	}
 	return c
 }
@@ -43,6 +46,23 @@ func (c *Cached) Anonymize(addr ipaddr.Addr) ipaddr.Addr {
 		return v
 	}
 	v = c.inner.Anonymize(addr)
+	s.mu.Lock()
+	s.m[addr] = v
+	s.mu.Unlock()
+	return v
+}
+
+// anonymizeWith is Anonymize using a caller-owned walk buffer for the
+// miss path.
+func (c *Cached) anonymizeWith(addr ipaddr.Addr, b *walkBuf) ipaddr.Addr {
+	s := &c.shards[uint32(addr)%cacheShards]
+	s.mu.RLock()
+	v, ok := s.m[addr]
+	s.mu.RUnlock()
+	if ok {
+		return v
+	}
+	v = c.inner.anonymizeBuf(addr, b)
 	s.mu.Lock()
 	s.m[addr] = v
 	s.mu.Unlock()
@@ -77,4 +97,46 @@ func (c *Cached) Len() int {
 		s.mu.RUnlock()
 	}
 	return n
+}
+
+// l1Bits sizes the direct-mapped L1: 2^14 slots x 16 bytes = 256 KiB.
+const l1Bits = 14
+
+// l1Slot is one direct-mapped cache line: the key carries a presence
+// marker in bit 32 so the zero slot never matches a real address.
+type l1Slot struct {
+	key uint64
+	val ipaddr.Addr
+}
+
+// L1 is a single-goroutine memo in front of a shared Cached: lookups
+// hit a direct-mapped array (one multiply-shift hash, no Go map, no
+// locks) and fall through to the shared table on miss, overwriting the
+// colliding slot. The engine gives each shard worker its own L1, so the
+// per-packet cost of repeated addresses (heavy-tailed sources dominate
+// packets) is one array probe. An L1 must only ever be used from one
+// goroutine at a time, but it may be reused across captures: entries
+// memoize a pure function of the key, so they never go stale.
+type L1 struct {
+	shared *Cached
+	buf    walkBuf // single-goroutine walk scratch: no pool traffic on misses
+	slots  [1 << l1Bits]l1Slot
+}
+
+// NewL1 returns an empty per-goroutine memo over the shared cache.
+func (c *Cached) NewL1() *L1 {
+	return &L1{shared: c}
+}
+
+// Anonymize returns the same mapping as the shared cache.
+func (l *L1) Anonymize(addr ipaddr.Addr) ipaddr.Addr {
+	i := (uint32(addr) * 2654435761) >> (32 - l1Bits)
+	s := &l.slots[i]
+	k := uint64(addr) | 1<<32
+	if s.key == k {
+		return s.val
+	}
+	v := l.shared.anonymizeWith(addr, &l.buf)
+	s.key, s.val = k, v
+	return v
 }

@@ -57,6 +57,13 @@ type Pair struct {
 // shard workers and must be safe for concurrent use.
 type Mapper func(*pcap.Packet) Pair
 
+// MapperFactory builds one Mapper per shard worker for each capture.
+// Each returned Mapper is only ever called from its own worker
+// goroutine, so it may keep unsynchronized per-worker state (the
+// telescope hangs a lock-free L1 anonymization memo here). Every Mapper
+// produced by one factory must compute the same function.
+type MapperFactory func(shard int) Mapper
+
 // Config parameterizes an Engine.
 type Config struct {
 	// Workers is the shard-worker count: 1 runs the serial degenerate
@@ -95,31 +102,47 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// Engine is a configured, reusable window builder. Construct with New.
+// Engine is a configured, reusable window builder. Construct with New
+// or NewPerWorker.
 type Engine struct {
-	cfg    Config
-	filter Filter
-	mapper Mapper
-	pool   sync.Pool // batch buffers recycled between reader and shards
+	cfg     Config
+	filter  Filter
+	factory MapperFactory
+	pool    sync.Pool // batch buffers recycled between reader and shards
+	accPool sync.Pool // shard accumulators, retained across windows
 }
 
 // New builds an Engine from a validity filter and a coordinate mapper.
 // A nil filter accepts every packet.
 func New(cfg Config, filter Filter, mapper Mapper) (*Engine, error) {
+	if mapper == nil {
+		return nil, fmt.Errorf("engine: mapper required")
+	}
+	return NewPerWorker(cfg, filter, func(int) Mapper { return mapper })
+}
+
+// NewPerWorker builds an Engine whose shard workers each get their own
+// Mapper from factory at the start of every capture; use it when the
+// mapper benefits from per-worker state. A nil filter accepts every
+// packet.
+func NewPerWorker(cfg Config, filter Filter, factory MapperFactory) (*Engine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if mapper == nil {
-		return nil, fmt.Errorf("engine: mapper required")
+	if factory == nil {
+		return nil, fmt.Errorf("engine: mapper factory required")
 	}
 	if filter == nil {
 		filter = func(*pcap.Packet) bool { return true }
 	}
 	cfg = cfg.normalized()
-	e := &Engine{cfg: cfg, filter: filter, mapper: mapper}
+	e := &Engine{cfg: cfg, filter: filter, factory: factory}
 	e.pool.New = func() interface{} {
 		s := make([]pcap.Packet, 0, cfg.Batch)
 		return &s
+	}
+	e.accPool.New = func() interface{} {
+		return hypersparse.NewAccumulator(cfg.LeafSize, 1)
 	}
 	return e, nil
 }
@@ -178,13 +201,16 @@ const ctxPollInterval = 4096
 // the pre-engine telescope build. It is kept as the correctness oracle
 // the sharded path is diffed against.
 func (e *Engine) captureSerial(ctx context.Context, src PacketSource, nv int) (*Window, error) {
-	acc := hypersparse.NewAccumulator(e.cfg.LeafSize, 1)
+	acc := e.getAcc()
+	defer e.accPool.Put(acc)
+	mapper := e.factory(0)
 	w := &Window{Shards: 1}
 	var pkt pcap.Packet
 	read := 0
 	for w.NV < nv && src.Next(&pkt) {
 		read++
 		if read%ctxPollInterval == 0 && ctx.Err() != nil {
+			acc.Discard() // O(1) reset before returning to the pool; no merge
 			return nil, ctx.Err()
 		}
 		if !e.filter(&pkt) {
@@ -192,7 +218,7 @@ func (e *Engine) captureSerial(ctx context.Context, src PacketSource, nv int) (*
 			continue
 		}
 		e.observe(w, &pkt)
-		p := e.mapper(&pkt)
+		p := mapper(&pkt)
 		acc.Add(p.Row, p.Col, 1)
 		w.NV++
 	}
@@ -220,10 +246,10 @@ func (e *Engine) captureSharded(ctx context.Context, src PacketSource, nv int) (
 	var wg sync.WaitGroup
 	for i := 0; i < e.cfg.Workers; i++ {
 		wg.Add(1)
-		go func() {
+		go func(shard int) {
 			defer wg.Done()
-			e.shardWorker(ctx, batches, results)
-		}()
+			e.shardWorker(ctx, shard, batches, results)
+		}(i)
 	}
 
 	w := &Window{}
@@ -290,8 +316,10 @@ func (e *Engine) captureSharded(ctx context.Context, src PacketSource, nv int) (
 // accumulating leaf matrices, then reduces its leaves and reports one
 // shard matrix. On cancellation it keeps draining (so the reader is
 // never blocked on a full queue) but stops doing work.
-func (e *Engine) shardWorker(ctx context.Context, batches <-chan *[]pcap.Packet, results chan<- shardResult) {
-	acc := hypersparse.NewAccumulator(e.cfg.LeafSize, 1)
+func (e *Engine) shardWorker(ctx context.Context, shard int, batches <-chan *[]pcap.Packet, results chan<- shardResult) {
+	acc := e.getAcc()
+	defer e.accPool.Put(acc)
+	mapper := e.factory(shard)
 	ingested := 0
 	for batch := range batches {
 		if ctx.Err() != nil {
@@ -299,17 +327,31 @@ func (e *Engine) shardWorker(ctx context.Context, batches <-chan *[]pcap.Packet,
 			continue
 		}
 		for i := range *batch {
-			p := e.mapper(&(*batch)[i])
+			p := mapper(&(*batch)[i])
 			acc.Add(p.Row, p.Col, 1)
 		}
 		ingested += len(*batch)
 		e.putBatch(batch)
+	}
+	if ctx.Err() != nil {
+		// The capture is abandoned and the result will be drained unread:
+		// skip the merge entirely.
+		acc.Discard()
+		results <- shardResult{}
+		return
 	}
 	leaves := acc.Leaves()
 	if ingested%e.cfg.LeafSize != 0 {
 		leaves++ // partial tail leaf
 	}
 	results <- shardResult{matrix: acc.Finish(), leaves: leaves}
+}
+
+// getAcc takes a pooled shard accumulator; accumulators return to the
+// pool already reset (Finish resets), retaining their builder buffers
+// so repeated windows allocate nothing for leaf assembly.
+func (e *Engine) getAcc() *hypersparse.Accumulator {
+	return e.accPool.Get().(*hypersparse.Accumulator)
 }
 
 // send hands a full batch to the shard pool, blocking under backpressure

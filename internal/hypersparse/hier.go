@@ -11,9 +11,22 @@ import (
 // form an NV = 2^30 window; the same structure here yields log-depth
 // merges and near-linear parallel speedup.
 
-// HierSum sums the given matrices with a parallel binary merge tree and
-// returns the total. nil entries are treated as empty. workers <= 0 uses
-// GOMAXPROCS.
+// HierSum sums the given matrices and returns the total. nil entries
+// are treated as empty. workers <= 0 uses GOMAXPROCS.
+//
+// The reduction is a two-level pooled k-way merge: the leaves are split
+// into up to `workers` contiguous groups, each group is heap-merged into
+// a pooled scratch matrix concurrently, and the group results are
+// heap-merged into the final matrix. All intermediate storage comes from
+// a sync.Pool and is retained across windows, so a warm window sum
+// performs O(1) allocations (the published result and the goroutine
+// bookkeeping) instead of the O(levels·nnz) of an allocate-per-merge
+// binary tree.
+//
+// Aliasing: when exactly one leaf is non-empty HierSum returns that leaf
+// itself — safe, because leaves are published immutable matrices. A
+// multi-leaf sum is always published into fresh exact-size arrays;
+// pooled scratch never escapes.
 func HierSum(leaves []*Matrix, workers int) *Matrix {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -24,30 +37,55 @@ func HierSum(leaves []*Matrix, workers int) *Matrix {
 			cur = append(cur, l)
 		}
 	}
-	if len(cur) == 0 {
+	switch len(cur) {
+	case 0:
 		return &Matrix{}
+	case 1:
+		return cur[0]
 	}
-	for len(cur) > 1 {
-		next := make([]*Matrix, (len(cur)+1)/2)
-		var wg sync.WaitGroup
-		sem := make(chan struct{}, workers)
-		for i := 0; i < len(cur); i += 2 {
-			if i+1 == len(cur) {
-				next[i/2] = cur[i]
-				continue
-			}
-			wg.Add(1)
-			sem <- struct{}{}
-			go func(dst int, a, b *Matrix) {
-				defer wg.Done()
-				next[dst] = Add(a, b)
-				<-sem
-			}(i/2, cur[i], cur[i+1])
-		}
-		wg.Wait()
-		cur = next
+
+	groups := workers
+	if max := (len(cur) + 1) / 2; groups > max {
+		groups = max
 	}
-	return cur[0]
+	if groups <= 1 {
+		s := scratchPool.Get().(*mergeScratch)
+		sumInto(s, &s.m, cur)
+		out := s.m.publish()
+		scratchPool.Put(s)
+		return out
+	}
+
+	// Level 1: each group k-way-merges its contiguous slice of leaves
+	// into its own pooled scratch. Bounds follow the balanced split
+	// lo(g) = g*len/groups, so every group is non-empty.
+	parts := make([]*mergeScratch, groups)
+	var wg sync.WaitGroup
+	for g := 0; g < groups; g++ {
+		lo := g * len(cur) / groups
+		hi := (g + 1) * len(cur) / groups
+		parts[g] = scratchPool.Get().(*mergeScratch)
+		wg.Add(1)
+		go func(s *mergeScratch, chunk []*Matrix) {
+			defer wg.Done()
+			sumInto(s, &s.m, chunk)
+		}(parts[g], cur[lo:hi])
+	}
+	wg.Wait()
+
+	// Level 2: merge the group results and publish.
+	final := scratchPool.Get().(*mergeScratch)
+	partMats := make([]*Matrix, groups)
+	for g, p := range parts {
+		partMats[g] = &p.m
+	}
+	sumInto(final, &final.m, partMats)
+	out := final.m.publish()
+	scratchPool.Put(final)
+	for _, p := range parts {
+		scratchPool.Put(p)
+	}
+	return out
 }
 
 // Accumulator ingests a stream of (row, col, value) triples, compiles a
@@ -97,12 +135,32 @@ func (a *Accumulator) cut() {
 func (a *Accumulator) Leaves() int { return len(a.leaves) }
 
 // Finish cuts any partial leaf and returns the hierarchical sum. The
-// accumulator is reset and reusable afterwards.
+// accumulator is reset and reusable afterwards; it retains its builder
+// buffers and leaf-list capacity, so a reused accumulator (the engine
+// pools one per shard worker) allocates only the published leaves at
+// steady state.
 func (a *Accumulator) Finish() *Matrix {
 	a.cut()
 	m := HierSum(a.leaves, a.workers)
-	a.leaves = nil
+	for i := range a.leaves {
+		a.leaves[i] = nil // release the merged leaves for collection
+	}
+	a.leaves = a.leaves[:0]
 	return m
+}
+
+// Discard drops all accumulated state — pending triples and cut
+// leaves — without the merge Finish performs. It is the O(1) reset for
+// abandoned captures (context cancellation), where Finish would burn a
+// full hierarchical merge just to throw the window away. The
+// accumulator's buffers are retained for reuse.
+func (a *Accumulator) Discard() {
+	a.builder.Reset()
+	a.inLeaf = 0
+	for i := range a.leaves {
+		a.leaves[i] = nil
+	}
+	a.leaves = a.leaves[:0]
 }
 
 // FlatSum is the non-hierarchical baseline: it accumulates every entry of

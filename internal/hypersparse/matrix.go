@@ -23,8 +23,26 @@ type Entry struct {
 	Val      float64
 }
 
-// Matrix is an immutable doubly-compressed sparse row (DCSR) matrix.
-// The zero value is an empty matrix ready to use.
+// Matrix is a doubly-compressed sparse row (DCSR) matrix. The zero
+// value is an empty matrix ready to use.
+//
+// # Ownership and aliasing contract
+//
+// A Matrix returned by Build, FromEntries, Add, HierSum, ReadMatrix, or
+// any reduction is "published": it is immutable from that point on and
+// may be shared freely across goroutines. Published matrices may alias
+// each other's storage — Pattern and Apply share rows/rowPtr/cols with
+// their receiver, Add and HierSum return an operand unchanged when every
+// other operand is empty — which is safe precisely because published
+// matrices are never written again.
+//
+// The one exception is a scratch destination passed to AddInto or
+// SumInto: its storage is owned by the caller, is rewritten on every
+// call, and must not be published (retained, shared, or returned) while
+// it can still be reused. The pooled merge path in HierSum follows this
+// rule internally: pooled scratch is always copied into a fresh
+// published Matrix before being handed out, so no pooled buffer ever
+// escapes through the aliasing shortcuts above.
 type Matrix struct {
 	rows   []uint32  // sorted distinct non-empty row ids
 	rowPtr []int64   // len(rows)+1 offsets into cols/vals
@@ -68,6 +86,13 @@ func (m *Matrix) At(row, col uint32) float64 {
 // owned by the matrix and must not be modified.
 func (m *Matrix) Rows() []uint32 { return m.rows }
 
+// Vals returns the stored values in row-major order (parallel to the
+// entries Iterate visits). The returned slice is owned by the matrix and
+// must not be modified; it exists so per-link analyses (the paper's
+// link-packet distributions) can read the nonzeros without the
+// Iterate-closure copy.
+func (m *Matrix) Vals() []float64 { return m.vals }
+
 // Iterate calls fn for every stored entry in row-major order. Iteration
 // stops early if fn returns false.
 func (m *Matrix) Iterate(fn func(Entry) bool) {
@@ -109,30 +134,127 @@ func FromEntries(entries []Entry) *Matrix {
 // Builder accumulates (row, col, value) triples with duplicate summing,
 // then compiles them into an immutable Matrix. It corresponds to the
 // GraphBLAS build-from-tuples step the paper's pipeline uses for each
-// 2^17-packet leaf window. Builders are not safe for concurrent use; the
-// hierarchical accumulator gives each goroutine its own.
+// 2^17-packet leaf window.
+//
+// The builder is a triple buffer: Add appends packed (key, value) pairs
+// to flat slices, and Build radix-sorts by key, coalesces duplicates in
+// place, and compiles the DCSR arrays directly. Build resets the builder
+// but retains every internal buffer, so a long-lived builder (one per
+// engine shard, one per archive stream) allocates nothing per leaf at
+// steady state beyond the published Matrix itself. Builders are not safe
+// for concurrent use; the hierarchical accumulator gives each goroutine
+// its own.
 type Builder struct {
-	m map[uint64]float64
+	keys []uint64  // packed (row, col), in arrival order until Build
+	vals []float64 // parallel to keys
+	kbuf []uint64  // radix scratch, retained across Build calls
+	vbuf []float64 // radix scratch, retained across Build calls
 }
 
 // NewBuilder returns a Builder with capacity hint n.
 func NewBuilder(n int) *Builder {
-	return &Builder{m: make(map[uint64]float64, n)}
+	return &Builder{
+		keys: make([]uint64, 0, n),
+		vals: make([]float64, 0, n),
+	}
 }
 
 func key(row, col uint32) uint64 { return uint64(row)<<32 | uint64(col) }
 
 // Add accumulates v at (row, col).
 func (b *Builder) Add(row, col uint32, v float64) {
+	b.keys = append(b.keys, key(row, col))
+	b.vals = append(b.vals, v)
+}
+
+// Len reports the number of triples appended since the last Build or
+// Reset. Duplicate (row, col) pairs are coalesced only at Build time, so
+// this is an upper bound on the NNZ of the matrix Build will produce.
+func (b *Builder) Len() int { return len(b.keys) }
+
+// Reset discards any accumulated triples while retaining the builder's
+// buffers for reuse.
+func (b *Builder) Reset() {
+	b.keys = b.keys[:0]
+	b.vals = b.vals[:0]
+}
+
+// Build compiles the accumulated triples into a published Matrix and
+// resets the builder, retaining its buffers. The only allocations are
+// the exact-size arrays of the returned matrix.
+func (b *Builder) Build() *Matrix {
+	n := len(b.keys)
+	if n == 0 {
+		return &Matrix{}
+	}
+	b.kbuf = growKeys(b.kbuf, n)
+	b.vbuf = growVals(b.vbuf, n)
+	keys, vals := radixSortPairs(b.keys, b.vals, b.kbuf, b.vbuf)
+
+	// Coalesce duplicate keys in place, summing values.
+	u := 0
+	for i := 0; i < n; {
+		k, v := keys[i], vals[i]
+		for i++; i < n && keys[i] == k; i++ {
+			v += vals[i]
+		}
+		keys[u], vals[u] = k, v
+		u++
+	}
+	// Count distinct rows so every output array is exact-size.
+	r := 1
+	for i := 1; i < u; i++ {
+		if keys[i]>>32 != keys[i-1]>>32 {
+			r++
+		}
+	}
+	m := &Matrix{
+		rows:   make([]uint32, 0, r),
+		rowPtr: make([]int64, 0, r+1),
+		cols:   make([]uint32, u),
+		vals:   make([]float64, u),
+	}
+	var lastRow uint32
+	for i := 0; i < u; i++ {
+		row := uint32(keys[i] >> 32)
+		if i == 0 || row != lastRow {
+			m.rows = append(m.rows, row)
+			m.rowPtr = append(m.rowPtr, int64(i))
+			lastRow = row
+		}
+		m.cols[i] = uint32(keys[i])
+		m.vals[i] = vals[i]
+	}
+	m.rowPtr = append(m.rowPtr, int64(u))
+	b.Reset()
+	return m
+}
+
+// mapBuilder is the map-based assembler the radix Builder replaced on
+// the hot path. It remains the implementation behind the generic
+// semiring operations, which need assignment (not summing) semantics,
+// and the differential-test oracle the radix path is verified against.
+type mapBuilder struct {
+	m map[uint64]float64
+}
+
+func newMapBuilder(n int) *mapBuilder {
+	return &mapBuilder{m: make(map[uint64]float64, n)}
+}
+
+// add accumulates v at (row, col).
+func (b *mapBuilder) add(row, col uint32, v float64) {
 	b.m[key(row, col)] += v
 }
 
-// Len reports the number of distinct (row, col) pairs accumulated.
-func (b *Builder) Len() int { return len(b.m) }
+// set overwrites the value at (row, col).
+func (b *mapBuilder) set(row, col uint32, v float64) {
+	b.m[key(row, col)] = v
+}
 
-// Build compiles the accumulated triples into a Matrix and resets the
-// builder.
-func (b *Builder) Build() *Matrix {
+// build compiles the accumulated cells into a published Matrix and
+// resets the assembler.
+func (b *mapBuilder) build() *Matrix {
 	keys := make([]uint64, 0, len(b.m))
 	for k := range b.m {
 		keys = append(keys, k)

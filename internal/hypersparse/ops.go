@@ -6,8 +6,19 @@ package hypersparse
 // hierarchical accumulator, transpose, and index permutation.
 
 // Add returns the elementwise sum a + b. Both operands are unchanged.
-// The merge is linear in the total number of entries, which is what makes
-// the log-depth hierarchical summation of leaf matrices efficient.
+// The merge is linear in the total number of entries.
+//
+// Aliasing: when either operand is empty, Add returns the other operand
+// itself, not a copy. This is safe for published (immutable) matrices —
+// the only kind Add should be given — but it means the result may share
+// identity with an input; callers that go on to use the result as a
+// mutable AddInto/SumInto destination must publish or copy it first.
+// The pooled merge path never returns pooled scratch through this
+// shortcut (see HierSum).
+//
+// The hot path uses AddInto and SumInto instead, which reuse a
+// caller-owned destination; Add remains the convenient
+// allocate-per-call form.
 func Add(a, b *Matrix) *Matrix {
 	if a.NNZ() == 0 {
 		return b
@@ -21,25 +32,7 @@ func Add(a, b *Matrix) *Matrix {
 		cols:   make([]uint32, 0, len(a.cols)+len(b.cols)),
 		vals:   make([]float64, 0, len(a.vals)+len(b.vals)),
 	}
-	ai, bi := 0, 0
-	for ai < len(a.rows) || bi < len(b.rows) {
-		switch {
-		case bi == len(b.rows) || (ai < len(a.rows) && a.rows[ai] < b.rows[bi]):
-			out.appendRow(a.rows[ai], a.cols[a.rowPtr[ai]:a.rowPtr[ai+1]], a.vals[a.rowPtr[ai]:a.rowPtr[ai+1]])
-			ai++
-		case ai == len(a.rows) || b.rows[bi] < a.rows[ai]:
-			out.appendRow(b.rows[bi], b.cols[b.rowPtr[bi]:b.rowPtr[bi+1]], b.vals[b.rowPtr[bi]:b.rowPtr[bi+1]])
-			bi++
-		default: // same row in both: merge columns
-			out.appendMergedRow(a.rows[ai],
-				a.cols[a.rowPtr[ai]:a.rowPtr[ai+1]], a.vals[a.rowPtr[ai]:a.rowPtr[ai+1]],
-				b.cols[b.rowPtr[bi]:b.rowPtr[bi+1]], b.vals[b.rowPtr[bi]:b.rowPtr[bi+1]])
-			ai++
-			bi++
-		}
-	}
-	out.rowPtr = append(out.rowPtr, int64(len(out.cols)))
-	return out
+	return AddInto(out, a, b)
 }
 
 func (m *Matrix) appendRow(row uint32, cols []uint32, vals []float64) {
@@ -116,23 +109,28 @@ func (m *Matrix) RowDegrees() *Vector {
 }
 
 // ColSums returns 1^T·A: per-destination packet counts ("destination
-// packets to j").
+// packets to j"). The column reduction runs on the pooled radix scan,
+// not a map, so the only allocations are the returned vector's arrays.
 func (m *Matrix) ColSums() *Vector {
-	acc := make(map[uint32]float64, len(m.rows))
-	for i, c := range m.cols {
-		acc[c] += m.vals[i]
-	}
-	return VectorFromMap(acc)
+	ids := make([]uint32, 0, len(m.cols))
+	vals := make([]float64, 0, len(m.cols))
+	m.ColScan(func(col uint32, sum float64, _ int) {
+		ids = append(ids, col)
+		vals = append(vals, sum)
+	})
+	return &Vector{ids: ids, vals: vals}
 }
 
 // ColDegrees returns 1^T·|A|0: per-destination unique source counts
 // ("destination fan-in to j").
 func (m *Matrix) ColDegrees() *Vector {
-	acc := make(map[uint32]float64, len(m.rows))
-	for _, c := range m.cols {
-		acc[c]++
-	}
-	return VectorFromMap(acc)
+	ids := make([]uint32, 0, len(m.cols))
+	vals := make([]float64, 0, len(m.cols))
+	m.ColScan(func(col uint32, _ float64, nnz int) {
+		ids = append(ids, col)
+		vals = append(vals, float64(nnz))
+	})
+	return &Vector{ids: ids, vals: vals}
 }
 
 // MaxVal returns max(A), the paper's maximum link packets, or 0 when

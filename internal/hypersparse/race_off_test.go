@@ -1,0 +1,5 @@
+//go:build !race
+
+package hypersparse
+
+const raceEnabled = false

@@ -1,0 +1,84 @@
+package hypersparse
+
+// radix.go implements the LSD (least-significant-digit) radix sort the
+// zero-allocation hot path is built on: (key, value) pairs are sorted by
+// unsigned key with byte-wide counting passes into caller-owned scratch
+// buffers — no comparator, no interface calls, no allocation. Passes
+// whose byte is constant across all keys are skipped, so leaves whose
+// indices share high bits (e.g. darkspace destinations inside one /8)
+// sort in a handful of passes.
+
+// radixKey is the set of key widths the hot path sorts by: packed
+// (row, col) pairs are uint64, bare column ids are uint32.
+type radixKey interface {
+	~uint32 | ~uint64
+}
+
+// radixSortPairs sorts keys (with vals carried along) ascending using
+// kbuf/vbuf as ping-pong scratch. All four slices must have the same
+// length. It returns the slices holding the sorted data, which are
+// either (keys, vals) or (kbuf, vbuf) depending on the number of passes
+// performed.
+func radixSortPairs[K radixKey](keys []K, vals []float64, kbuf []K, vbuf []float64) ([]K, []float64) {
+	n := len(keys)
+	if n < 2 {
+		return keys, vals
+	}
+	// One prepass finds the bytes that actually vary; constant bytes
+	// would produce a single bucket and can be skipped outright.
+	orAll, andAll := keys[0], keys[0]
+	for _, k := range keys[1:] {
+		orAll |= k
+		andAll &= k
+	}
+	varying := orAll &^ andAll
+
+	// Bytes beyond a uint32 key's width shift out to zero and are
+	// skipped by the varying mask, so one 64-bit loop serves both widths.
+	var counts [256]int
+	src, dst := keys, kbuf
+	vsrc, vdst := vals, vbuf
+	for shift := 0; shift < 64; shift += 8 {
+		if (varying>>shift)&0xFF == 0 {
+			continue
+		}
+		for i := range counts {
+			counts[i] = 0
+		}
+		for _, k := range src {
+			counts[uint8(k>>shift)]++
+		}
+		pos := 0
+		for i, c := range counts {
+			counts[i] = pos
+			pos += c
+		}
+		for i, k := range src {
+			d := uint8(k >> shift)
+			j := counts[d]
+			counts[d]++
+			dst[j] = k
+			vdst[j] = vsrc[i]
+		}
+		src, dst = dst, src
+		vsrc, vdst = vdst, vsrc
+	}
+	return src, vsrc
+}
+
+// growKeys ensures a scratch key slice has length n, reallocating only
+// when capacity is exceeded (steady state: never).
+func growKeys[K radixKey](s []K, n int) []K {
+	if cap(s) < n {
+		return make([]K, n, n+n/2)
+	}
+	return s[:n]
+}
+
+// growVals is growKeys for value buffers.
+func growVals(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n, n+n/2)
+	}
+	return s[:n]
+}

@@ -113,6 +113,9 @@ func MxM(s Semiring, a, b *Matrix) *Matrix {
 	for i, r := range b.rows {
 		bRow[r] = i
 	}
+	// Each (arow, col) cell is assigned exactly once, so the radix
+	// builder's duplicate-summing never fires and assignment semantics
+	// are preserved.
 	builder := NewBuilder(a.NNZ())
 	acc := make(map[uint32]float64)
 	for ai, arow := range a.rows {
@@ -133,7 +136,7 @@ func MxM(s Semiring, a, b *Matrix) *Matrix {
 			}
 		}
 		for col, v := range acc {
-			builder.m[key(arow, col)] = v
+			builder.Add(arow, col, v)
 		}
 	}
 	return builder.Build()
@@ -162,7 +165,7 @@ func EWiseMult(s Semiring, a, b *Matrix) *Matrix {
 			case a.cols[i] > b.cols[j]:
 				j++
 			default:
-				builder.m[key(arow, a.cols[i])] = s.Mul(a.vals[i], b.vals[j])
+				builder.Add(arow, a.cols[i], s.Mul(a.vals[i], b.vals[j]))
 				i++
 				j++
 			}
@@ -175,21 +178,22 @@ func EWiseMult(s Semiring, a, b *Matrix) *Matrix {
 // patterns (Add(a, b) for this package's arithmetic Add is the existing
 // Add function; EWiseAdd generalizes it to any semiring).
 func EWiseAdd(s Semiring, a, b *Matrix) *Matrix {
-	builder := NewBuilder(a.NNZ() + b.NNZ())
+	// Needs the map assembler: matched entries combine through the
+	// semiring's Add, which is not the radix builder's arithmetic sum.
+	builder := newMapBuilder(a.NNZ() + b.NNZ())
 	a.Iterate(func(e Entry) bool {
-		builder.m[key(e.Row, e.Col)] = e.Val
+		builder.set(e.Row, e.Col, e.Val)
 		return true
 	})
 	b.Iterate(func(e Entry) bool {
-		k := key(e.Row, e.Col)
-		if old, ok := builder.m[k]; ok {
-			builder.m[k] = s.Add(old, e.Val)
+		if old, ok := builder.m[key(e.Row, e.Col)]; ok {
+			builder.set(e.Row, e.Col, s.Add(old, e.Val))
 		} else {
-			builder.m[k] = e.Val
+			builder.set(e.Row, e.Col, e.Val)
 		}
 		return true
 	})
-	return builder.Build()
+	return builder.build()
 }
 
 // Apply returns a new matrix with fn applied to every stored value.
@@ -213,7 +217,7 @@ func (m *Matrix) Select(keep func(Entry) bool) *Matrix {
 	builder := NewBuilder(m.NNZ())
 	m.Iterate(func(e Entry) bool {
 		if keep(e) {
-			builder.m[key(e.Row, e.Col)] = e.Val
+			builder.Add(e.Row, e.Col, e.Val)
 		}
 		return true
 	})

@@ -1,0 +1,116 @@
+package hypersparse
+
+// stats.go implements the fused reductions of the paper's Table II: one
+// row-major DCSR pass yields every row-axis and whole-matrix aggregate,
+// and a pooled radix scan over the column ids yields the column-axis
+// aggregates — no intermediate Vector, map, or per-call allocation.
+
+import "sync"
+
+// Stats bundles every aggregate of the paper's Table II computable from
+// one matrix: 1^T A 1, the structural counts, and the per-axis maxima.
+// netquant maps these onto the table's named quantities.
+type Stats struct {
+	Sum    float64 // 1^T A 1: total value (valid packets NV)
+	MaxVal float64 // max(A): maximum link packets
+	NNZ    int     // 1^T |A|0 1: stored entries (unique links)
+	NRows  int     // unique sources
+	NCols  int     // unique destinations
+
+	MaxRowSum float64 // max(A 1): maximum source packets
+	MaxRowDeg float64 // max(|A|0 1): maximum source fan-out
+	MaxColSum float64 // max(1^T A): maximum destination packets
+	MaxColDeg float64 // max(1^T |A|0): maximum destination fan-in
+}
+
+// Stats computes all Table II aggregates in one fused row-major pass
+// plus one pooled column scan. Nothing is allocated once the column
+// scratch pool is warm.
+func (m *Matrix) Stats() Stats {
+	s := Stats{NNZ: len(m.cols), NRows: len(m.rows)}
+	for ri := range m.rows {
+		lo, hi := m.rowPtr[ri], m.rowPtr[ri+1]
+		var rowSum float64
+		for k := lo; k < hi; k++ {
+			v := m.vals[k]
+			rowSum += v
+			if v > s.MaxVal {
+				s.MaxVal = v
+			}
+		}
+		s.Sum += rowSum
+		if rowSum > s.MaxRowSum {
+			s.MaxRowSum = rowSum
+		}
+		if deg := float64(hi - lo); deg > s.MaxRowDeg {
+			s.MaxRowDeg = deg
+		}
+	}
+	m.ColScan(func(_ uint32, sum float64, nnz int) {
+		s.NCols++
+		if sum > s.MaxColSum {
+			s.MaxColSum = sum
+		}
+		if d := float64(nnz); d > s.MaxColDeg {
+			s.MaxColDeg = d
+		}
+	})
+	return s
+}
+
+// RowScan calls fn once per non-empty row in increasing row order with
+// the row's id, value total (its A·1 element), and stored-entry count
+// (its |A|0·1 element). It allocates nothing.
+func (m *Matrix) RowScan(fn func(row uint32, sum float64, nnz int)) {
+	for ri, row := range m.rows {
+		lo, hi := m.rowPtr[ri], m.rowPtr[ri+1]
+		var sum float64
+		for k := lo; k < hi; k++ {
+			sum += m.vals[k]
+		}
+		fn(row, sum, int(hi-lo))
+	}
+}
+
+// colScratch is the pooled buffer set ColScan sorts column ids into.
+type colScratch struct {
+	keys []uint32
+	vals []float64
+	kbuf []uint32
+	vbuf []float64
+}
+
+var colPool = sync.Pool{New: func() interface{} { return new(colScratch) }}
+
+// ColScan calls fn once per distinct column in increasing column order
+// with the column's id, value total (its 1^T·A element), and
+// stored-entry count (its 1^T·|A|0 element). The columns are coalesced
+// with a pooled radix sort, so a warm pool makes the scan
+// allocation-free; the deterministic ascending order also makes the
+// float accumulation reproducible, unlike the map-based reduction it
+// replaces.
+func (m *Matrix) ColScan(fn func(col uint32, sum float64, nnz int)) {
+	n := len(m.cols)
+	if n == 0 {
+		return
+	}
+	s := colPool.Get().(*colScratch)
+	s.keys = growKeys(s.keys, n)
+	s.vals = growVals(s.vals, n)
+	s.kbuf = growKeys(s.kbuf, n)
+	s.vbuf = growVals(s.vbuf, n)
+	copy(s.keys, m.cols)
+	copy(s.vals, m.vals)
+	keys, vals := radixSortPairs(s.keys, s.vals, s.kbuf, s.vbuf)
+	for i := 0; i < n; {
+		col := keys[i]
+		sum := vals[i]
+		cnt := 1
+		for i++; i < n && keys[i] == col; i++ {
+			sum += vals[i]
+			cnt++
+		}
+		fn(col, sum, cnt)
+	}
+	colPool.Put(s)
+}

@@ -26,22 +26,23 @@ type Quantities struct {
 	MaxDestFanin       float64 // max(1^T |A|0)
 }
 
-// Compute evaluates all Table II aggregates with one pass per reduction.
+// Compute evaluates all Table II aggregates through the fused
+// hypersparse.Stats reduction: one row-major DCSR pass for the row-axis
+// and whole-matrix quantities plus one pooled column scan, with no
+// intermediate Vector (previously this cost four independent reduction
+// passes, two of them map-backed, each with copy-out allocations).
 func Compute(m *hypersparse.Matrix) Quantities {
-	rowSums := m.RowSums()
-	rowDegs := m.RowDegrees()
-	colSums := m.ColSums()
-	colDegs := m.ColDegrees()
+	s := m.Stats()
 	return Quantities{
-		ValidPackets:       m.Sum(),
-		UniqueLinks:        float64(m.NNZ()),
-		MaxLinkPackets:     m.MaxVal(),
-		UniqueSources:      float64(rowSums.NNZ()),
-		MaxSourcePackets:   rowSums.Max(),
-		MaxSourceFanout:    rowDegs.Max(),
-		UniqueDestinations: float64(colSums.NNZ()),
-		MaxDestPackets:     colSums.Max(),
-		MaxDestFanin:       colDegs.Max(),
+		ValidPackets:       s.Sum,
+		UniqueLinks:        float64(s.NNZ),
+		MaxLinkPackets:     s.MaxVal,
+		UniqueSources:      float64(s.NRows),
+		MaxSourcePackets:   s.MaxRowSum,
+		MaxSourceFanout:    s.MaxRowDeg,
+		UniqueDestinations: float64(s.NCols),
+		MaxDestPackets:     s.MaxColSum,
+		MaxDestFanin:       s.MaxColDeg,
 	}
 }
 
@@ -61,44 +62,51 @@ func (q Quantities) Rows() [][2]string {
 	}
 }
 
+// The degree-vector extractors below feed the Figure 3 distributions.
+// Each performs exactly one allocation (the returned slice) and fills it
+// from the fused row/column scans — no intermediate Vector.
+
 // SourcePacketValues returns the per-source packet counts (A·1 values),
 // the degree variable of the paper's Figure 3.
 func SourcePacketValues(m *hypersparse.Matrix) []float64 {
-	return vectorValues(m.RowSums())
+	out := make([]float64, 0, m.NRows())
+	m.RowScan(func(_ uint32, sum float64, _ int) {
+		out = append(out, sum)
+	})
+	return out
 }
 
 // SourceFanoutValues returns per-source unique destination counts.
 func SourceFanoutValues(m *hypersparse.Matrix) []float64 {
-	return vectorValues(m.RowDegrees())
+	out := make([]float64, 0, m.NRows())
+	m.RowScan(func(_ uint32, _ float64, nnz int) {
+		out = append(out, float64(nnz))
+	})
+	return out
 }
 
 // DestPacketValues returns per-destination packet counts.
 func DestPacketValues(m *hypersparse.Matrix) []float64 {
-	return vectorValues(m.ColSums())
+	out := make([]float64, 0, m.NNZ())
+	m.ColScan(func(_ uint32, sum float64, _ int) {
+		out = append(out, sum)
+	})
+	return out
 }
 
 // DestFaninValues returns per-destination unique source counts.
 func DestFaninValues(m *hypersparse.Matrix) []float64 {
-	return vectorValues(m.ColDegrees())
-}
-
-// LinkPacketValues returns the per-link packet counts (the nonzeros of A).
-func LinkPacketValues(m *hypersparse.Matrix) []float64 {
 	out := make([]float64, 0, m.NNZ())
-	m.Iterate(func(e hypersparse.Entry) bool {
-		out = append(out, e.Val)
-		return true
+	m.ColScan(func(_ uint32, _ float64, nnz int) {
+		out = append(out, float64(nnz))
 	})
 	return out
 }
 
-func vectorValues(v *hypersparse.Vector) []float64 {
-	out := make([]float64, 0, v.NNZ())
-	v.Iterate(func(_ uint32, val float64) bool {
-		out = append(out, val)
-		return true
-	})
-	return out
+// LinkPacketValues returns the per-link packet counts (the nonzeros of
+// A), copied straight from the matrix's value array.
+func LinkPacketValues(m *hypersparse.Matrix) []float64 {
+	return append([]float64(nil), m.Vals()...)
 }
 
 // SourcePacketDistribution bins the Figure 3 degree variable with the

@@ -1,7 +1,6 @@
 package radiation
 
 import (
-	"container/heap"
 	"math"
 	"time"
 
@@ -54,18 +53,42 @@ type sourceTrain struct {
 	rng       sm64
 }
 
-type trainHeap []sourceTrain
+// trainKey is one heap entry: the train's next emission time plus the
+// index of its (fat) sourceTrain in the side array. The heap sifts
+// 16-byte keys, not 48-byte trains, and one sift runs per emitted
+// packet; the sift is hand-rolled rather than container/heap so the
+// comparisons inline instead of dispatching through an interface.
+type trainKey struct {
+	nextTime float64
+	idx      int32
+}
 
-func (h trainHeap) Len() int            { return len(h) }
-func (h trainHeap) Less(i, j int) bool  { return h[i].nextTime < h[j].nextTime }
-func (h trainHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *trainHeap) Push(x interface{}) { *h = append(*h, x.(sourceTrain)) }
-func (h *trainHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+type trainHeap []trainKey
+
+// siftDown restores the heap property from index i downward.
+func (h trainHeap) siftDown(i int) {
+	for {
+		l := 2*i + 1
+		if l >= len(h) {
+			return
+		}
+		m := l
+		if r := l + 1; r < len(h) && h[r].nextTime < h[l].nextTime {
+			m = r
+		}
+		if h[i].nextTime <= h[m].nextTime {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+// init heapifies in O(n).
+func (h trainHeap) init() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
 }
 
 // Stream lazily produces the packets of one telescope window in time
@@ -73,6 +96,7 @@ func (h *trainHeap) Pop() interface{} {
 type Stream struct {
 	pop       *Population
 	start     time.Time
+	trains    []sourceTrain
 	heap      trainHeap
 	active    int
 	total     int
@@ -113,19 +137,21 @@ func (p *Population) TelescopeStream(month float64, start time.Time) *Stream {
 		}
 		st.active++
 		st.total += count
-		st.heap = append(st.heap, sourceTrain{
+		st.trains = append(st.trains, sourceTrain{
 			srcIdx:    i,
 			remaining: count,
 			rng:       rng,
 		})
 	}
 	st.windowSec = float64(st.total) / packetsPerSecond
-	for k := range st.heap {
-		tr := &st.heap[k]
+	st.heap = make(trainHeap, len(st.trains))
+	for k := range st.trains {
+		tr := &st.trains[k]
 		tr.gapMean = st.windowSec / float64(tr.remaining+1)
 		tr.nextTime = tr.rng.exp(tr.gapMean)
+		st.heap[k] = trainKey{nextTime: tr.nextTime, idx: int32(k)}
 	}
-	heap.Init(&st.heap)
+	st.heap.init()
 	return st
 }
 
@@ -144,17 +170,21 @@ func (st *Stream) Next(pkt *pcap.Packet) bool {
 	if len(st.heap) == 0 {
 		return false
 	}
-	tr := &st.heap[0]
+	k := &st.heap[0]
+	tr := &st.trains[k.idx]
 	src := &st.pop.sources[tr.srcIdx]
 	st.fill(pkt, src, tr)
 	tr.remaining--
 	tr.seq++
 	if tr.remaining <= 0 {
-		heap.Pop(&st.heap)
+		n := len(st.heap) - 1
+		st.heap[0] = st.heap[n]
+		st.heap = st.heap[:n]
 	} else {
 		tr.nextTime += tr.rng.exp(tr.gapMean)
-		heap.Fix(&st.heap, 0)
+		k.nextTime = tr.nextTime
 	}
+	st.heap.siftDown(0)
 	st.emitted++
 	return true
 }

@@ -19,6 +19,11 @@ import (
 // the archive writer. It returns the number of valid packets archived
 // and the number dropped by the validity filter. The caller owns calling
 // aw.Finish.
+//
+// One triple-buffer builder serves the whole capture: Build resets it
+// with retained capacity, so every leaf after the first compiles without
+// growing the buffers (the map-based builder this replaces allocated a
+// fresh map per leaf).
 func (t *Telescope) CaptureToArchive(src PacketSource, nv int, aw *archive.Writer) (valid, dropped int, err error) {
 	builder := hypersparse.NewBuilder(t.leafSize)
 	inLeaf := 0

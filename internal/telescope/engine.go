@@ -11,23 +11,65 @@ package telescope
 import (
 	"context"
 
+	"repro/internal/cryptopan"
 	"repro/internal/engine"
 	"repro/internal/pcap"
 )
 
 // Engine returns a window engine wired to this telescope's validity
 // filter, anonymizer, and leaf size. workers and batch follow
-// engine.Config semantics (<= 0 picks defaults).
+// engine.Config semantics (<= 0 picks defaults). Each shard worker maps
+// through its own L1 anonymization memo in front of the telescope's
+// shared sharded cache, so hot (heavy-tailed) addresses cost one
+// lock-free array probe per packet.
+//
+// Engines are cached per (workers, batch) and reused across captures,
+// so the engine's pooled shard accumulators and batch buffers — and the
+// per-shard L1 memos — stay warm from one window to the next. This is
+// covered by the Telescope's one-capture-at-a-time contract.
 func (t *Telescope) Engine(workers, batch int) (*engine.Engine, error) {
-	return engine.New(
+	t.poolMu.Lock()
+	if eng, ok := t.engines[[2]int{workers, batch}]; ok {
+		t.poolMu.Unlock()
+		return eng, nil
+	}
+	t.poolMu.Unlock()
+	eng, err := engine.NewPerWorker(
 		engine.Config{Workers: workers, LeafSize: t.leafSize, Batch: batch},
 		t.Valid,
-		func(p *pcap.Packet) engine.Pair {
-			return engine.Pair{
-				Row: uint32(t.anon.Anonymize(p.Src)),
-				Col: uint32(t.anon.Anonymize(p.Dst)),
+		func(shard int) engine.Mapper {
+			l1 := t.shardL1(shard)
+			return func(p *pcap.Packet) engine.Pair {
+				return engine.Pair{
+					Row: uint32(l1.Anonymize(p.Src)),
+					Col: uint32(l1.Anonymize(p.Dst)),
+				}
 			}
 		})
+	if err != nil {
+		return nil, err
+	}
+	t.poolMu.Lock()
+	t.engines[[2]int{workers, batch}] = eng
+	t.poolMu.Unlock()
+	return eng, nil
+}
+
+// shardL1 returns the given shard's L1 anonymization memo, creating it
+// on first use. L1 entries memoize the telescope's fixed anonymizer, so
+// reusing them across captures is safe and keeps hot addresses warm from
+// one window to the next; the one-capture-at-a-time contract on
+// Telescope guarantees a shard's L1 is only ever driven by one goroutine
+// at a time.
+func (t *Telescope) shardL1(shard int) *cryptopan.L1 {
+	t.poolMu.Lock()
+	defer t.poolMu.Unlock()
+	l1 := t.l1s[shard]
+	if l1 == nil {
+		l1 = t.anon.NewL1()
+		t.l1s[shard] = l1
+	}
+	return l1
 }
 
 // CaptureWindowEngine captures a constant-packet window through the

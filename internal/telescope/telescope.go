@@ -14,10 +14,12 @@ package telescope
 import (
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"repro/internal/assoc"
 	"repro/internal/cryptopan"
+	"repro/internal/engine"
 	"repro/internal/hypersparse"
 	"repro/internal/ipaddr"
 	"repro/internal/pcap"
@@ -54,11 +56,25 @@ func (rs *ReaderSource) Next(p *pcap.Packet) bool {
 func (rs *ReaderSource) Err() error { return rs.err }
 
 // Telescope holds the observatory configuration. Construct with New.
+//
+// A Telescope runs one capture at a time: CaptureWindow,
+// CaptureWindowEngine, CaptureTimeWindow, and CaptureToArchive must not
+// be invoked concurrently with each other (a capture internally shards
+// across goroutines just fine). This was always the contract — the
+// deanonymization memo is invalidated unsynchronized at capture
+// boundaries — and the per-shard L1 anonymization memos and cached
+// engines reused across captures now rely on it too. Concurrent windows
+// belong on separate Telescopes sharing nothing, as in the paper's
+// deployment, where each observatory site anonymizes under its own key.
 type Telescope struct {
 	darkspace ipaddr.Prefix
 	leafSize  int
 	workers   int
 	anon      *cryptopan.Cached
+
+	poolMu  sync.Mutex
+	l1s     map[int]*cryptopan.L1     // per-shard L1 memos, reused across captures
+	engines map[[2]int]*engine.Engine // cached per (workers, batch): pooled accumulators and batch buffers persist across windows
 
 	revCache map[ipaddr.Addr]ipaddr.Addr // memoized inverse mapping
 	revSize  int                         // anon.Len() when revCache was built
@@ -82,6 +98,8 @@ func New(darkspace ipaddr.Prefix, anonPassphrase string, opts ...Option) *Telesc
 		darkspace: darkspace,
 		leafSize:  1 << 14,
 		anon:      cryptopan.NewCached(cryptopan.NewFromPassphrase(anonPassphrase)),
+		l1s:       make(map[int]*cryptopan.L1),
+		engines:   make(map[[2]int]*engine.Engine),
 	}
 	for _, o := range opts {
 		o(t)
