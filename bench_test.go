@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/correlate"
 	"repro/internal/hypersparse"
 	"repro/internal/netquant"
 	"repro/internal/pcap"
@@ -473,5 +474,65 @@ func newDeterministicNoise() func() float64 {
 		state ^= state >> 7
 		state ^= state << 17
 		return float64(state%1000) / 1000
+	}
+}
+
+// BenchmarkStudy measures the whole-study wall clock through the
+// parallel scheduler: population synthesis, every honeyfarm month,
+// every engine-captured snapshot window, assembled by index. One op is
+// one complete study at quick scale.
+func BenchmarkStudy(b *testing.B) {
+	cfg := core.QuickConfig()
+	cfg.StudyWorkers = 0 // GOMAXPROCS fan-out
+	b.ReportAllocs()
+	b.ResetTimer()
+	var pkts float64
+	for i := 0; i < b.N; i++ {
+		p, err := core.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := p.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		pkts = float64(len(res.Windows) * cfg.NV)
+	}
+	b.ReportMetric(pkts*float64(b.N)/b.Elapsed().Seconds(), "pkts/s")
+}
+
+// BenchmarkCorrelate measures the frozen sorted-key correlation kernels
+// across the full study: one op computes the Figure 4 peak curve and
+// one temporal series for every snapshot, allocation-free at steady
+// state.
+func BenchmarkCorrelate(b *testing.B) {
+	res := benchResult(b)
+	f := res.Frozen()
+	snaps := f.Snapshots()
+	peaks := make([][]correlate.BandFraction, snaps)
+	series := make([]correlate.Series, snaps)
+	mis := make([]int, snaps)
+	bands := make([]int, snaps)
+	for si := 0; si < snaps; si++ {
+		mi, err := f.SameMonthIndex(si)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mis[si] = mi
+		bands[si] = f.Bands(si)[0]
+		peaks[si] = f.PeakCorrelation(si, mi)
+		if err := f.TemporalInto(&series[si], si, bands[si]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for si := 0; si < snaps; si++ {
+			peaks[si] = f.PeakInto(peaks[si], si, mis[si])
+			if err := f.TemporalInto(&series[si], si, bands[si]); err != nil {
+				b.Fatal(err)
+			}
+		}
 	}
 }

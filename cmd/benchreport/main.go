@@ -1,13 +1,16 @@
-// Command benchreport measures the window-build hot path and emits (or
-// checks) the BENCH_hotpath.json baseline the perf trajectory is judged
-// against: packets/sec, ns/op, and allocs/op for engine window capture,
-// leaf build, hierarchical merge, and the fused netquant reduction.
+// Command benchreport measures the window-build hot path — or, with
+// -study, the whole-study scheduler and correlation kernels — and emits
+// (or checks) the committed JSON baselines the perf trajectory is
+// judged against.
 //
 // Usage:
 //
-//	benchreport [-out FILE] [-check FILE] [-quick] [-max-regress 0.20]
+//	benchreport [-study] [-out FILE] [-check FILE] [-quick] [-max-regress 0.20]
 //
-// With -out, a fresh report is written as JSON. With -check, the same
+// Without -study the report is the BENCH_hotpath.json schema:
+// packets/sec, ns/op, and allocs/op for engine window capture, leaf
+// build, hierarchical merge, and the fused netquant reduction. With
+// -out, a fresh report is written as JSON. With -check, the same
 // measurements run and then gate against the committed baseline:
 //
 //   - allocs/op gates are absolute (machine-independent): steady-state
@@ -17,10 +20,30 @@
 //   - packets/sec metrics must not regress more than -max-regress
 //     (default 20%) below the committed baseline values.
 //
+// With -study the report is the BENCH_study.json schema: whole-study
+// wall clock for the StudyWorkers=1 serial oracle and the parallel
+// scheduler (with engine packets/sec), their speedup, and ns/op +
+// allocs/op for the frozen correlation kernels (Figure 4's peak and
+// Figures 5-8's temporal series). Its gates:
+//
+//   - the correlation kernels must be allocation-free at steady state
+//     (machine-independent, always enforced);
+//   - the parallel study must be >= 2x the serial oracle — enforced
+//     only on machines with at least study_speedup_min_cpus CPUs,
+//     since the fan-out merely interleaves on fewer cores; below that
+//     the report records the measured value and annotates the skip
+//     (the numcpu field makes the context machine-readable).
+//
+// Every report records gomaxprocs and numcpu so cross-machine numbers
+// (e.g. multi-worker metrics measured on a 1-CPU container, where w8
+// can lose to w1) can be read in context.
+//
 // CI runs `benchreport -quick -check BENCH_hotpath_quick.json
-// -max-regress 0.5` (the committed quick-scale baseline, with a wide
-// cross-machine margin) so a hot-path regression fails the build;
-// BENCH_hotpath.json is the full-scale same-machine trajectory record.
+// -max-regress 0.5` and the -study equivalent against
+// BENCH_study_quick.json (committed quick-scale baselines, with a wide
+// cross-machine margin) so hot-path and study regressions fail the
+// build; BENCH_hotpath.json and BENCH_study.json are the full-scale
+// same-machine trajectory records.
 package main
 
 import (
@@ -34,6 +57,8 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/core"
+	"repro/internal/correlate"
 	"repro/internal/hypersparse"
 	"repro/internal/netquant"
 	"repro/internal/radiation"
@@ -51,18 +76,24 @@ type Metric struct {
 	ItemsPerSec float64 `json:"items_per_sec,omitempty"`
 }
 
-// Report is the BENCH_hotpath.json schema.
+// Report is the BENCH_hotpath.json / BENCH_study.json schema.
 type Report struct {
 	Schema     string            `json:"schema"`
 	Generated  string            `json:"generated"`
 	GoVersion  string            `json:"go"`
 	GOMAXPROCS int               `json:"gomaxprocs"`
+	NumCPU     int               `json:"numcpu"`
 	Quick      bool              `json:"quick"`
 	Metrics    map[string]Metric `json:"metrics"`
 	// MergeSpeedup is the pooled k-way merge's advantage over the
 	// allocate-per-level Add tree on identical leaves (machine-relative,
-	// measured in-process).
-	MergeSpeedup float64 `json:"merge_speedup"`
+	// measured in-process). Hot-path schema only.
+	MergeSpeedup float64 `json:"merge_speedup,omitempty"`
+	// StudySpeedup is the parallel scheduler's whole-study advantage
+	// over the StudyWorkers=1 serial oracle. Study schema only; read it
+	// together with numcpu — on a 1-CPU machine it hovers near 1x by
+	// construction.
+	StudySpeedup float64 `json:"study_speedup,omitempty"`
 	Gates        Gates   `json:"gates"`
 	// Seed preserves the pre-refactor measurements this PR started from,
 	// so the trajectory keeps its origin even as the baseline moves.
@@ -71,10 +102,17 @@ type Report struct {
 
 // Gates are the machine-independent pass bars -check enforces.
 type Gates struct {
-	LeafBuildAllocsMax float64 `json:"leaf_build_allocs_max"`
-	WindowMergeAllocs  float64 `json:"window_merge_allocs_max"`
-	MergeSpeedupMin    float64 `json:"merge_speedup_min"`
-	NetquantAllocsMax  float64 `json:"netquant_allocs_max"`
+	LeafBuildAllocsMax float64 `json:"leaf_build_allocs_max,omitempty"`
+	WindowMergeAllocs  float64 `json:"window_merge_allocs_max,omitempty"`
+	MergeSpeedupMin    float64 `json:"merge_speedup_min,omitempty"`
+	NetquantAllocsMax  float64 `json:"netquant_allocs_max,omitempty"`
+	// Study gates: the correlation kernels' absolute allocation budget
+	// (always enforced) and the whole-study speedup floor (enforced only
+	// on machines with at least StudySpeedupMinCPUs CPUs, annotated
+	// otherwise — a 1-CPU runner cannot measure fan-out).
+	CorrelateAllocsMax  float64 `json:"correlate_allocs_max"`
+	StudySpeedupMin     float64 `json:"study_speedup_min,omitempty"`
+	StudySpeedupMinCPUs int     `json:"study_speedup_min_cpus,omitempty"`
 }
 
 func defaultGates() Gates {
@@ -91,11 +129,29 @@ func defaultGates() Gates {
 	}
 }
 
+func defaultStudyGates() Gates {
+	return Gates{
+		CorrelateAllocsMax: 0,
+		// The >= 2x whole-study bar of the scheduler's acceptance
+		// criteria. The CPU floor is 6, not 4: this report measures the
+		// realistic 5-snapshot study, whose ideal speedup on 4-5 CPUs
+		// is only ~2.5x (5 snapshot jobs, one worker runs two), leaving
+		// no margin for a noisy shared runner. From 6 CPUs every
+		// snapshot runs concurrently and the ideal is ~4-5x, so 2x has
+		// real headroom. The >= 2x at exactly 4 workers bar itself is
+		// enforced by core's TestStudySpeedup, which measures an
+		// 8-snapshot fixture built for that margin.
+		StudySpeedupMin:     2,
+		StudySpeedupMinCPUs: 6,
+	}
+}
+
 func main() {
 	var (
 		out        = flag.String("out", "", "write the report JSON to this file ('-' = stdout)")
 		check      = flag.String("check", "", "compare against this committed baseline JSON and exit non-zero on regression")
 		quick      = flag.Bool("quick", false, "small fixture for CI smoke (2^14-packet windows)")
+		study      = flag.Bool("study", false, "measure the whole-study scheduler and correlation kernels (BENCH_study.json schema) instead of the window hot path")
 		maxRegress = flag.Float64("max-regress", 0.20, "allowed fractional packets/sec regression vs the baseline")
 	)
 	flag.Parse()
@@ -103,7 +159,12 @@ func main() {
 		*out = "-"
 	}
 
-	rep := measure(*quick)
+	var rep *Report
+	if *study {
+		rep = measureStudy(*quick)
+	} else {
+		rep = measure(*quick)
+	}
 
 	if *out != "" {
 		buf, err := json.MarshalIndent(rep, "", "  ")
@@ -129,7 +190,12 @@ func main() {
 			}
 			os.Exit(1)
 		}
-		fmt.Printf("benchreport: all gates pass against %s (merge speedup %.2fx)\n", *check, rep.MergeSpeedup)
+		if *study {
+			fmt.Printf("benchreport: all gates pass against %s (study speedup %.2fx on %d CPUs)\n",
+				*check, rep.StudySpeedup, rep.NumCPU)
+		} else {
+			fmt.Printf("benchreport: all gates pass against %s (merge speedup %.2fx)\n", *check, rep.MergeSpeedup)
+		}
 	}
 }
 
@@ -145,10 +211,13 @@ func loadReport(path string) (*Report, error) {
 	return &r, nil
 }
 
-// compare enforces the gates: absolute alloc budgets and the merge
-// speedup from the fresh run, throughput regression vs the baseline.
+// compare enforces the gates: absolute alloc budgets and the in-process
+// speedups from the fresh run, throughput regression vs the baseline.
 func compare(fresh, base *Report, maxRegress float64) []string {
 	var errs []string
+	if fresh.Schema != base.Schema {
+		return []string{fmt.Sprintf("schema mismatch: fresh %q vs baseline %q", fresh.Schema, base.Schema)}
+	}
 	g := base.Gates
 	checkAllocs := func(name string, max float64) {
 		m, ok := fresh.Metrics[name]
@@ -160,11 +229,26 @@ func compare(fresh, base *Report, maxRegress float64) []string {
 			errs = append(errs, fmt.Sprintf("%s: %.1f allocs/op exceeds gate %.0f", name, m.AllocsOp, max))
 		}
 	}
-	checkAllocs("leaf_build", g.LeafBuildAllocsMax)
-	checkAllocs("window_merge_pooled", g.WindowMergeAllocs)
-	checkAllocs("netquant_fused", g.NetquantAllocsMax)
-	if fresh.MergeSpeedup < g.MergeSpeedupMin {
-		errs = append(errs, fmt.Sprintf("merge_speedup %.2fx below gate %.2fx", fresh.MergeSpeedup, g.MergeSpeedupMin))
+	if fresh.Schema == studySchema {
+		checkAllocs("correlate_peak", g.CorrelateAllocsMax)
+		checkAllocs("correlate_temporal", g.CorrelateAllocsMax)
+		if fresh.NumCPU >= g.StudySpeedupMinCPUs {
+			if fresh.StudySpeedup < g.StudySpeedupMin {
+				errs = append(errs, fmt.Sprintf("study_speedup %.2fx below gate %.2fx at %d CPUs",
+					fresh.StudySpeedup, g.StudySpeedupMin, fresh.NumCPU))
+			}
+		} else {
+			fmt.Printf("benchreport: %d CPUs < %d required to measure study fan-out; "+
+				"study_speedup gate annotated and skipped (measured %.2fx)\n",
+				fresh.NumCPU, g.StudySpeedupMinCPUs, fresh.StudySpeedup)
+		}
+	} else {
+		checkAllocs("leaf_build", g.LeafBuildAllocsMax)
+		checkAllocs("window_merge_pooled", g.WindowMergeAllocs)
+		checkAllocs("netquant_fused", g.NetquantAllocsMax)
+		if fresh.MergeSpeedup < g.MergeSpeedupMin {
+			errs = append(errs, fmt.Sprintf("merge_speedup %.2fx below gate %.2fx", fresh.MergeSpeedup, g.MergeSpeedupMin))
+		}
 	}
 	if fresh.Quick != base.Quick {
 		// Throughput is only comparable at the same fixture scale; the
@@ -248,6 +332,7 @@ func measure(quick bool) *Report {
 		Generated:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 		Quick:      quick,
 		Metrics:    map[string]Metric{},
 		Gates:      defaultGates(),
@@ -362,4 +447,116 @@ func capture(b *testing.B, tel *telescope.Telescope, pop *radiation.Population, 
 		}
 		log.Fatalf("short window: %d", w.NV)
 	}
+}
+
+// studySchema marks BENCH_study.json reports.
+const studySchema = "bench_study/v1"
+
+// studyConfig is the measurement scale for -study: the root benchmark
+// harness's study shape at full scale, QuickConfig at -quick. Engine
+// workers are pinned to 1 so study_speedup isolates the scheduler's
+// fan-out from the engine's sharding.
+func studyConfig(quick bool) core.Config {
+	if quick {
+		cfg := core.QuickConfig()
+		cfg.Workers = 1
+		return cfg
+	}
+	cfg := core.DefaultConfig()
+	cfg.NV = 1 << 16
+	cfg.LeafSize = 1 << 12
+	cfg.Radiation.NumSources = 40000
+	cfg.Radiation.ZM = stats.PaperZM(1 << 14)
+	cfg.Radiation.BrightLog2 = 8
+	cfg.Workers = 1
+	return cfg
+}
+
+// measureStudy times the whole study on the serial oracle and the
+// parallel scheduler, then benchmarks the frozen correlation kernels on
+// the resulting tables.
+func measureStudy(quick bool) *Report {
+	rep := &Report{
+		Schema:     studySchema,
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Quick:      quick,
+		Metrics:    map[string]Metric{},
+		Gates:      defaultStudyGates(),
+	}
+	cfg := studyConfig(quick)
+
+	run := func(studyWorkers int) (*core.Result, time.Duration) {
+		c := cfg
+		c.StudyWorkers = studyWorkers
+		p, err := core.New(c)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t0 := time.Now()
+		res, err := p.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res, time.Since(t0)
+	}
+	_, serialWall := run(1)
+	// The acceptance bar is phrased at >= 4 workers; use more when the
+	// machine has them. On fewer CPUs this still exercises the real
+	// scheduler (interleaved), so the recorded speedup is the honest
+	// fan-out-overhead number, not a silent serial rerun.
+	parWorkers := runtime.GOMAXPROCS(0)
+	if parWorkers < 4 {
+		parWorkers = 4
+	}
+	res, parWall := run(parWorkers)
+	pkts := len(res.Windows) * cfg.NV
+	rep.Metrics["study_serial"] = Metric{
+		NsOp:        float64(serialWall.Nanoseconds()),
+		ItemsPerSec: float64(pkts) / serialWall.Seconds(),
+	}
+	rep.Metrics["study_parallel"] = Metric{
+		NsOp:        float64(parWall.Nanoseconds()),
+		ItemsPerSec: float64(pkts) / parWall.Seconds(),
+	}
+	rep.StudySpeedup = float64(serialWall) / float64(parWall)
+
+	// One-time interning cost of the study's tables.
+	rep.Metrics["correlate_freeze"] = toMetric(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			correlate.Freeze(res.Study)
+		}
+	}), 0)
+
+	// Steady-state Figure 4 and Figure 5-8 kernels: warm Into
+	// destinations, so allocs/op must read 0.
+	f := res.Frozen()
+	mi, err := f.SameMonthIndex(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dst := f.PeakCorrelation(0, mi)
+	rep.Metrics["correlate_peak"] = toMetric(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dst = f.PeakInto(dst, 0, mi)
+		}
+	}), 0)
+	band := f.Bands(0)[0] // the faintest band holds the most sources: worst case
+	var series correlate.Series
+	if err := f.TemporalInto(&series, 0, band); err != nil {
+		log.Fatal(err)
+	}
+	rep.Metrics["correlate_temporal"] = toMetric(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := f.TemporalInto(&series, 0, band); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}), 0)
+	return rep
 }

@@ -18,10 +18,11 @@ import (
 
 func main() {
 	var (
-		scale   = flag.String("scale", "default", "preset: quick or default")
-		nv      = flag.Int("nv", 0, "override telescope window size NV")
-		sources = flag.Int("sources", 0, "override population size")
-		seed    = flag.Int64("seed", 0, "override random seed")
+		scale        = flag.String("scale", "default", "preset: quick or default")
+		nv           = flag.Int("nv", 0, "override telescope window size NV")
+		sources      = flag.Int("sources", 0, "override population size")
+		seed         = flag.Int64("seed", 0, "override random seed")
+		studyWorkers = flag.Int("study-workers", 0, "study-level fan-out: months/snapshots in flight (1 = serial oracle, 0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -38,6 +39,7 @@ func main() {
 	if *seed != 0 {
 		cfg.Radiation.Seed = *seed
 	}
+	cfg.StudyWorkers = *studyWorkers
 
 	pipe, err := core.New(cfg)
 	if err != nil {

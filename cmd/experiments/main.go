@@ -6,7 +6,8 @@
 // Usage:
 //
 //	experiments [-scale quick|default] [-nv N] [-sources N] [-seed N]
-//	            [-workers N] [-leaf-size N] [-batch N] [-store ADDR|auto]
+//	            [-workers N] [-leaf-size N] [-batch N] [-study-workers N]
+//	            [-store ADDR|auto]
 package main
 
 import (
@@ -40,6 +41,7 @@ func main() {
 		workers  = flag.Int("workers", 0, "engine shard workers (1 = serial, 0 = GOMAXPROCS)")
 		leafSize = flag.Int("leaf-size", 0, "override entries per hypersparse leaf matrix")
 		batch    = flag.Int("batch", 0, "packets per engine batch (0 = leaf size)")
+		study    = flag.Int("study-workers", 0, "study-level fan-out: months/snapshots in flight (1 = serial oracle, 0 = GOMAXPROCS)")
 		store    = flag.String("store", "", `tripled D4M server for the correlation tables ("auto" = in-process)`)
 	)
 	flag.Parse()
@@ -62,6 +64,7 @@ func main() {
 		cfg.LeafSize = *leafSize
 	}
 	cfg.Batch = *batch
+	cfg.StudyWorkers = *study
 	if *store == "auto" {
 		srv, err := tripled.Serve(tripled.NewStore(), "127.0.0.1:0")
 		if err != nil {
@@ -80,8 +83,8 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	log.Printf("running study (NV=%d, %d sources, workers=%d)...",
-		cfg.NV, cfg.Radiation.NumSources, cfg.Workers)
+	log.Printf("running study (NV=%d, %d sources, workers=%d, study-workers=%d)...",
+		cfg.NV, cfg.Radiation.NumSources, cfg.Workers, cfg.StudyWorkers)
 	runStart := time.Now()
 	res, err := pipe.RunContext(ctx)
 	if err != nil {

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
+	"sync/atomic"
 )
 
 // Value is a cell value: either numeric or a string.
@@ -59,6 +60,15 @@ func add(a, b Value) Value {
 type Assoc struct {
 	cells map[string]map[string]Value // row -> col -> value
 	nnz   int
+
+	// rowKeys caches the sorted row-key slice RowKeys returns; it is
+	// invalidated (set nil) whenever a row appears or disappears. The
+	// correlation and TSV paths call RowKeys per table per pass, so the
+	// sort must not be paid on every call. The pointer is atomic so the
+	// lazily built cache preserves the map's reader guarantee:
+	// concurrent RowKeys calls (and other reads) are safe; mutation
+	// still requires external exclusion, exactly as before.
+	rowKeys atomic.Pointer[[]string]
 }
 
 // New returns an empty associative array.
@@ -72,6 +82,7 @@ func (a *Assoc) Set(row, col string, v Value) {
 	if !ok {
 		r = make(map[string]Value)
 		a.cells[row] = r
+		a.rowKeys.Store(nil)
 	}
 	if _, exists := r[col]; !exists {
 		a.nnz++
@@ -106,6 +117,7 @@ func (a *Assoc) Delete(row, col string) {
 			a.nnz--
 			if len(r) == 0 {
 				delete(a.cells, row)
+				a.rowKeys.Store(nil)
 			}
 		}
 	}
@@ -117,13 +129,20 @@ func (a *Assoc) NNZ() int { return a.nnz }
 // NRows returns the number of non-empty rows.
 func (a *Assoc) NRows() int { return len(a.cells) }
 
-// RowKeys returns the sorted row keys.
+// RowKeys returns the sorted row keys. The slice is cached until a row
+// is added or removed and is shared across calls: callers must not
+// modify it. Like every read, RowKeys is safe for concurrent readers
+// (racing first calls each build the same slice; one wins the store).
 func (a *Assoc) RowKeys() []string {
+	if p := a.rowKeys.Load(); p != nil {
+		return *p
+	}
 	keys := make([]string, 0, len(a.cells))
 	for k := range a.cells {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
+	a.rowKeys.Store(&keys)
 	return keys
 }
 

@@ -3,9 +3,11 @@ package assoc
 import (
 	"bytes"
 	"math/rand"
+	"reflect"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -353,4 +355,87 @@ func BenchmarkRowIntersect(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		RowIntersect(x, y)
 	}
+}
+
+// TestRowKeysCache proves RowKeys is cached between calls and
+// invalidated exactly when the row set changes: a new row, a row's last
+// cell deleted, or a row re-added after deletion.
+func TestRowKeysCache(t *testing.T) {
+	a := New()
+	a.Set("b", "c1", Num(1))
+	a.Set("a", "c1", Num(1))
+	k1 := a.RowKeys()
+	if want := []string{"a", "b"}; !reflect.DeepEqual(k1, want) {
+		t.Fatalf("RowKeys = %v, want %v", k1, want)
+	}
+	// Same-row mutations must not invalidate: the cached slice is reused.
+	a.Set("a", "c2", Num(2))
+	a.Accum("b", "c1", Num(1))
+	a.Delete("a", "c2")
+	k2 := a.RowKeys()
+	if &k1[0] != &k2[0] {
+		t.Error("cache rebuilt on a mutation that did not change the row set")
+	}
+	// A new row invalidates.
+	a.Set("c", "c1", Num(1))
+	if got, want := a.RowKeys(), []string{"a", "b", "c"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("after new row: RowKeys = %v, want %v", got, want)
+	}
+	// Deleting a row's last cell invalidates.
+	a.Delete("b", "c1")
+	if got, want := a.RowKeys(), []string{"a", "c"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("after row removal: RowKeys = %v, want %v", got, want)
+	}
+	// Re-adding the row invalidates again.
+	a.Set("b", "c9", Str("x"))
+	if got, want := a.RowKeys(), []string{"a", "b", "c"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("after re-add: RowKeys = %v, want %v", got, want)
+	}
+	// Empty array caches an empty (non-nil is irrelevant, just correct) slice.
+	e := New()
+	if got := e.RowKeys(); len(got) != 0 {
+		t.Fatalf("empty RowKeys = %v", got)
+	}
+}
+
+func BenchmarkRowKeysCached(b *testing.B) {
+	a := New()
+	for i := 0; i < 1<<14; i++ {
+		a.Set(strconv.Itoa(i), "c", Num(1))
+	}
+	a.RowKeys()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.RowKeys()
+	}
+}
+
+// TestRowKeysConcurrentReaders holds the reader guarantee under -race:
+// the lazy sorted-keys cache must not turn concurrent read-only use of
+// one Assoc (first RowKeys calls included) into a data race.
+func TestRowKeysConcurrentReaders(t *testing.T) {
+	a := New()
+	for i := 0; i < 1000; i++ {
+		a.Set(strconv.Itoa(i), "c", Num(float64(i)))
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				keys := a.RowKeys()
+				if len(keys) != 1000 {
+					t.Errorf("RowKeys len = %d", len(keys))
+					return
+				}
+				if !a.HasRow(keys[i]) {
+					t.Errorf("cached key %q missing", keys[i])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }

@@ -10,6 +10,8 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 	"time"
 
 	"repro/internal/correlate"
@@ -29,6 +31,14 @@ type Config struct {
 	LeafSize int // hierarchical leaf size (paper: 2^17)
 	Workers  int // engine shard workers; 1 = serial oracle, 0 = GOMAXPROCS
 	Batch    int // packets per engine batch; 0 = LeafSize
+
+	// StudyWorkers is the study-level fan-out: how many goroutines
+	// ingest honeyfarm months and capture telescope snapshots
+	// concurrently. 1 runs the strictly serial path retained as the
+	// correctness oracle; 0 uses GOMAXPROCS. Any value produces
+	// byte-identical artifacts — results are assembled by index, and
+	// every month and snapshot is deterministic in isolation.
+	StudyWorkers int
 
 	Sensors        int    // honeyfarm sensor count
 	AnonPassphrase string // CryptoPAN key derivation
@@ -184,19 +194,46 @@ type Result struct {
 	Study   correlate.Study
 	Windows []*telescope.Window // one anonymized window per snapshot
 	Farm    *honeyfarm.Honeyfarm
+
+	frozenOnce sync.Once
+	frozen     *correlate.Frozen
+}
+
+// Frozen returns the sorted-key compilation of the study's correlation
+// tables (interned row IDs, per-band sorted sets), built once on first
+// use and shared by every Figure 4-8 emitter. Safe for concurrent use.
+func (r *Result) Frozen() *correlate.Frozen {
+	r.frozenOnce.Do(func() { r.frozen = correlate.Freeze(r.Study) })
+	return r.frozen
 }
 
 // Run executes the full study with background context; see RunContext.
 func (p *Pipeline) Run() (*Result, error) { return p.RunContext(context.Background()) }
 
-// RunContext executes the full study: 15 honeyfarm months, then one
+// RunContext executes the full study: 15 honeyfarm months plus one
 // telescope window per configured snapshot time captured through the
-// sharded streaming engine (Config.Workers shards; Workers=1 is the
-// serial degenerate path kept for correctness diffing), reduced to D4M
-// source tables. With Config.StoreAddr set, every table additionally
-// round-trips through the tripled service before correlation.
-// Cancelling ctx abandons the study mid-window.
+// sharded streaming engine (Config.Workers shards per window), reduced
+// to D4M source tables. With Config.StudyWorkers != 1, months and
+// snapshots themselves fan out across goroutines (see scheduler.go);
+// StudyWorkers=1 runs this strictly serial path, retained as the
+// correctness oracle the scheduler is diffed against. With
+// Config.StoreAddr set, every table additionally round-trips through
+// the tripled service before correlation. Cancelling ctx abandons the
+// study mid-window.
 func (p *Pipeline) RunContext(ctx context.Context) (*Result, error) {
+	workers := p.cfg.StudyWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 {
+		return p.runSerial(ctx)
+	}
+	return p.runParallel(ctx, workers)
+}
+
+// runSerial is the StudyWorkers=1 degenerate path: months then
+// snapshots, one at a time, on the caller's goroutine.
+func (p *Pipeline) runSerial(ctx context.Context) (*Result, error) {
 	res := &Result{Config: p.cfg, Farm: p.farm}
 
 	var db *tripled.Client
@@ -346,15 +383,16 @@ type Fig4Series struct {
 }
 
 // Fig4 computes the same-month correlation by brightness for every
-// snapshot.
+// snapshot, on the frozen sorted-key kernel.
 func (r *Result) Fig4() ([]Fig4Series, error) {
+	f := r.Frozen()
 	out := make([]Fig4Series, 0, len(r.Study.Snapshots))
-	for _, snap := range r.Study.Snapshots {
-		month, err := correlate.SameMonth(snap, r.Study.Months)
+	for si, snap := range r.Study.Snapshots {
+		mi, err := f.SameMonthIndex(si)
 		if err != nil {
 			return nil, err
 		}
-		pts := correlate.PeakCorrelation(snap, month)
+		pts := f.PeakCorrelation(si, mi)
 		model := make([]float64, len(pts))
 		for i, p := range pts {
 			model[i] = correlate.PeakModel(p.D, snap.NV)
@@ -370,7 +408,7 @@ func (r *Result) Fig5() (correlate.Series, map[string]stats.TemporalFit, error) 
 	if len(r.Study.Snapshots) == 0 {
 		return correlate.Series{}, nil, fmt.Errorf("core: no snapshots")
 	}
-	series, err := correlate.TemporalCorrelation(r.Study.Snapshots[0], r.Study.Months, r.Config.Fig5Band())
+	series, err := r.Frozen().Temporal(0, r.Config.Fig5Band())
 	if err != nil {
 		return correlate.Series{}, nil, err
 	}
@@ -381,11 +419,12 @@ func (r *Result) Fig5() (correlate.Series, map[string]stats.TemporalFit, error) 
 // every Fig6 band, with modified-Cauchy fits. Bands a snapshot lacks are
 // skipped.
 func (r *Result) Fig6() ([]correlate.Series, []stats.TemporalFit) {
+	f := r.Frozen()
 	var all []correlate.Series
 	var fits []stats.TemporalFit
-	for _, snap := range r.Study.Snapshots {
+	for si := range r.Study.Snapshots {
 		for _, band := range r.Config.Fig6Bands() {
-			s, err := correlate.TemporalCorrelation(snap, r.Study.Months, band)
+			s, err := f.Temporal(si, band)
 			if err != nil {
 				continue
 			}
@@ -400,9 +439,10 @@ func (r *Result) Fig6() ([]correlate.Series, []stats.TemporalFit) {
 // every snapshot: Alpha per band (Figure 7) and one-month drop 1/(β+1)
 // per band (Figure 8).
 func (r *Result) Fig7And8() [][]correlate.BandFit {
+	f := r.Frozen()
 	out := make([][]correlate.BandFit, len(r.Study.Snapshots))
-	for i, snap := range r.Study.Snapshots {
-		out[i] = correlate.FitSweep(snap, r.Study.Months, r.Config.MinBandSources)
+	for i := range r.Study.Snapshots {
+		out[i] = f.FitSweep(i, r.Config.MinBandSources)
 	}
 	return out
 }

@@ -1,0 +1,234 @@
+package core
+
+// scheduler.go is the study-level parallel scheduler: with
+// Config.StudyWorkers != 1 the honeyfarm months and telescope snapshots
+// — mutually independent, deterministic units of work — fan out across
+// one pool of goroutines instead of running strictly one after another.
+//
+// The design rests on three ownership rules:
+//
+//   - The radiation Population is immutable after construction, so any
+//     number of workers may synthesize months and streams from it
+//     concurrently.
+//   - Shared mutable state is never touched from the pool. Months are
+//     built with honeyfarm.BuildMonth (reads only the sensor set) and
+//     attached to the farm in month order after the pool joins; each
+//     snapshot worker captures through its own Telescope (CryptoPAN is
+//     a pure function of the passphrase, so per-worker anonymizers
+//     produce the same matrices the serial path's single telescope
+//     does), and each worker with store traffic dials its own tripled
+//     client (the client is single-connection, not concurrency-safe).
+//   - Results land in index-addressed slots and are assembled in order,
+//     so the Result is byte-identical to the runSerial oracle — proven
+//     by TestParallelStudyMatchesSerialOracle across every emitter.
+//
+// Snapshot jobs are scheduled before month jobs: windows dominate the
+// wall clock, so starting them first keeps the pool saturated while the
+// cheaper month builds fill the gaps.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/correlate"
+	"repro/internal/honeyfarm"
+	"repro/internal/telescope"
+	"repro/internal/tripled"
+)
+
+// studyJob is one unit of study work: a honeyfarm month (snap < 0) or a
+// telescope snapshot (month < 0).
+type studyJob struct {
+	month int
+	snap  int
+}
+
+// runParallel executes the study with the given fan-out. workers is
+// always >= 2 here; RunContext routes 1 to runSerial.
+func (p *Pipeline) runParallel(ctx context.Context, workers int) (*Result, error) {
+	res := &Result{Config: p.cfg, Farm: p.farm}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	nMonths := p.cfg.Radiation.Months
+	nSnaps := len(p.cfg.SnapshotTimes)
+	monthData := make([]correlate.MonthData, nMonths)
+	built := make([]*honeyfarm.MonthWindow, nMonths) // nil where the farm already held the month
+	windows := make([]*telescope.Window, nSnaps)
+	snapData := make([]correlate.Snapshot, nSnaps)
+
+	jobs := make(chan studyJob, nMonths+nSnaps)
+	for s := 0; s < nSnaps; s++ {
+		jobs <- studyJob{month: -1, snap: s}
+	}
+	for m := 0; m < nMonths; m++ {
+		jobs <- studyJob{month: m, snap: -1}
+	}
+	close(jobs)
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			cancel()
+		}
+		mu.Unlock()
+	}
+
+	if workers > nMonths+nSnaps {
+		workers = nMonths + nSnaps
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := &studyWorker{p: p}
+			defer w.close()
+			for job := range jobs {
+				if ctx.Err() != nil {
+					continue // abandoned: drain the queue without working
+				}
+				var err error
+				if job.month >= 0 {
+					monthData[job.month], built[job.month], err = w.runMonth(job.month)
+				} else {
+					windows[job.snap], snapData[job.snap], err = w.runSnapshot(ctx, job.snap)
+				}
+				if err != nil {
+					fail(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Assemble by index: attach freshly built months in month order so
+	// the farm's ingestion order matches the serial path, then adopt the
+	// index-addressed slots.
+	for _, mw := range built {
+		if mw != nil {
+			p.farm.Attach(mw)
+		}
+	}
+	res.Study.Months = monthData
+	res.Windows = windows
+	res.Study.Snapshots = snapData
+	return res, nil
+}
+
+// studyWorker is one pool goroutine's lazily created private state: a
+// telescope of its own (created on the first snapshot job) and a
+// tripled client of its own (dialed on first store use).
+type studyWorker struct {
+	p   *Pipeline
+	tel *telescope.Telescope
+	db  *tripled.Client
+	dbE error // sticky dial failure
+}
+
+func (w *studyWorker) close() {
+	if w.db != nil {
+		w.db.Close()
+	}
+}
+
+// client returns the worker's tripled connection, dialing on first use;
+// it returns (nil, nil) when the study runs without a store.
+func (w *studyWorker) client() (*tripled.Client, error) {
+	if w.p.cfg.StoreAddr == "" || w.dbE != nil {
+		return nil, w.dbE
+	}
+	if w.db == nil {
+		w.db, w.dbE = tripled.Dial(w.p.cfg.StoreAddr)
+		if w.dbE != nil {
+			w.dbE = fmt.Errorf("core: store %s: %w", w.p.cfg.StoreAddr, w.dbE)
+			return nil, w.dbE
+		}
+	}
+	return w.db, nil
+}
+
+// runMonth builds (or reuses) one honeyfarm month and round-trips it
+// through the store when configured. It mirrors runSerial's month
+// iteration body exactly; the farm is only read, never mutated — the
+// built window is attached by the assembly phase.
+func (w *studyWorker) runMonth(m int) (correlate.MonthData, *honeyfarm.MonthWindow, error) {
+	p := w.p
+	start := p.cfg.StudyStart.AddDate(0, m, 0)
+	label := start.Format("2006-01")
+	var builtMW *honeyfarm.MonthWindow
+	mw := p.farm.Month(label)
+	if mw == nil {
+		mw = p.farm.BuildMonth(label, start, p.pop.HoneyfarmMonth(m, start))
+		builtMW = mw
+	}
+	table := mw.Table
+	db, err := w.client()
+	if err != nil {
+		return correlate.MonthData{}, nil, err
+	}
+	if db != nil {
+		if err := mw.Publish(db); err != nil {
+			return correlate.MonthData{}, nil, fmt.Errorf("core: publish month %s: %w", label, err)
+		}
+		if table, err = honeyfarm.FetchMonthTable(db, label); err != nil {
+			return correlate.MonthData{}, nil, fmt.Errorf("core: fetch month %s: %w", label, err)
+		}
+	}
+	return correlate.MonthData{Label: label, Month: m, Table: table}, builtMW, nil
+}
+
+// runSnapshot captures one telescope window on the worker's private
+// telescope and reduces it to the D4M source table, mirroring
+// runSerial's snapshot iteration body exactly.
+func (w *studyWorker) runSnapshot(ctx context.Context, si int) (*telescope.Window, correlate.Snapshot, error) {
+	p := w.p
+	if w.tel == nil {
+		w.tel = telescope.New(p.cfg.Radiation.Darkspace, p.cfg.AnonPassphrase,
+			telescope.WithLeafSize(p.cfg.LeafSize))
+	}
+	ts := p.cfg.SnapshotTimes[si]
+	monthFrac := p.cfg.monthOf(ts)
+	stream := p.pop.TelescopeStream(monthFrac, ts)
+	win, err := w.tel.CaptureWindowEngine(ctx, stream, p.cfg.NV, p.cfg.Workers, p.cfg.Batch)
+	if err != nil {
+		return nil, correlate.Snapshot{}, fmt.Errorf("core: snapshot %v: %w", ts, err)
+	}
+	if win.NV < p.cfg.NV {
+		return nil, correlate.Snapshot{}, fmt.Errorf("core: snapshot %v: stream exhausted at %d of %d packets (population too small for NV)",
+			ts, win.NV, p.cfg.NV)
+	}
+	label := ts.Format("20060102-150405")
+	sources := w.tel.SourceTable(win)
+	db, err := w.client()
+	if err != nil {
+		return nil, correlate.Snapshot{}, err
+	}
+	if db != nil {
+		if err := w.tel.PublishSourceTable(db, label, win); err != nil {
+			return nil, correlate.Snapshot{}, fmt.Errorf("core: publish snapshot %s: %w", label, err)
+		}
+		if sources, err = telescope.FetchSourceTable(db, label); err != nil {
+			return nil, correlate.Snapshot{}, fmt.Errorf("core: fetch snapshot %s: %w", label, err)
+		}
+	}
+	return win, correlate.Snapshot{
+		Label:   label,
+		Month:   monthFrac,
+		NV:      p.cfg.NV,
+		Sources: sources,
+	}, nil
+}

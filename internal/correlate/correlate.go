@@ -7,6 +7,12 @@
 // (rows: source IP). All measurements are fractions of telescope sources
 // found in honeyfarm tables, sliced by source brightness band
 // [2^i, 2^(i+1)) and by month offset.
+//
+// Two implementations coexist: the map-based functions in this file
+// (the readable reference, retained as the differential-test oracle)
+// and the frozen sorted-key kernel in frozen.go (Freeze a Study once,
+// then every measurement is an allocation-free sorted-merge
+// intersection) that the pipeline's emitters run on.
 package correlate
 
 import (

@@ -1,0 +1,276 @@
+package correlate
+
+// frozen.go is the sorted-key correlation kernel: a Study compiled once
+// into interned row-ID sets so every Figure 4-8 measurement is a linear
+// sorted-merge intersection instead of per-row map probes. The paper's
+// correlation is pure set arithmetic — |telescope band ∩ honeyfarm
+// month| — and on a frozen study that arithmetic runs allocation-free:
+// row keys are interned to dense uint32 IDs exactly once, each month
+// table and each snapshot brightness band becomes one sorted []uint32,
+// and a two-pointer merge counts the overlap.
+//
+// The map-based functions in correlate.go remain the reference
+// implementation; TestFrozenMatchesReference diffs the two on every
+// artifact.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// Frozen is an immutable, interned compilation of a Study. Build one
+// with Freeze after the study's tables stop changing; all methods are
+// safe for concurrent use.
+type Frozen struct {
+	months []frozenMonth
+	snaps  []frozenSnapshot
+}
+
+type frozenMonth struct {
+	label string
+	month int
+	ids   []uint32 // sorted interned row IDs of the month table
+}
+
+type frozenSnapshot struct {
+	label string
+	month float64
+	nv    int
+	bands []frozenBand // ascending band order, empty bands omitted
+}
+
+type frozenBand struct {
+	band int
+	ids  []uint32 // sorted interned row IDs of the band's sources
+}
+
+// Freeze interns every row key of the study into one uint32 ID space,
+// reduces each month table to a sorted ID set, and computes each
+// snapshot's brightness bands once. The input tables are read, never
+// retained: later mutation of the study does not invalidate the Frozen
+// (it describes the study as it was at freeze time).
+func Freeze(study Study) *Frozen {
+	ids := make(map[string]uint32)
+	intern := func(key string) uint32 {
+		id, ok := ids[key]
+		if !ok {
+			id = uint32(len(ids))
+			ids[key] = id
+		}
+		return id
+	}
+
+	f := &Frozen{
+		months: make([]frozenMonth, 0, len(study.Months)),
+		snaps:  make([]frozenSnapshot, 0, len(study.Snapshots)),
+	}
+	for _, m := range study.Months {
+		keys := m.Table.RowKeys()
+		set := make([]uint32, len(keys))
+		for i, k := range keys {
+			set[i] = intern(k)
+		}
+		sortIDs(set)
+		f.months = append(f.months, frozenMonth{label: m.Label, month: m.Month, ids: set})
+	}
+	for _, snap := range study.Snapshots {
+		byBand := make(map[int][]uint32)
+		for _, row := range snap.Sources.RowKeys() {
+			v, ok := snap.Sources.Get(row, "packets")
+			if !ok || !v.Numeric {
+				continue
+			}
+			b := stats.BandIndex(v.Num)
+			if b < 0 {
+				continue
+			}
+			byBand[b] = append(byBand[b], intern(row))
+		}
+		fs := frozenSnapshot{label: snap.Label, month: snap.Month, nv: snap.NV,
+			bands: make([]frozenBand, 0, len(byBand))}
+		for b, set := range byBand {
+			sortIDs(set)
+			fs.bands = append(fs.bands, frozenBand{band: b, ids: set})
+		}
+		sort.Slice(fs.bands, func(i, j int) bool { return fs.bands[i].band < fs.bands[j].band })
+		f.snaps = append(f.snaps, fs)
+	}
+	return f
+}
+
+func sortIDs(ids []uint32) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}
+
+// countIntersect returns |a ∩ b| for two sorted ID sets by linear
+// two-pointer merge — the entire inner loop of Figures 4-8.
+func countIntersect(a, b []uint32) int {
+	n, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+// bandIDs returns the snapshot's ID set for one band (nil when the band
+// holds no sources).
+func (s *frozenSnapshot) bandIDs(band int) []uint32 {
+	for i := range s.bands {
+		if s.bands[i].band == band {
+			return s.bands[i].ids
+		}
+	}
+	return nil
+}
+
+// Months returns the number of frozen months.
+func (f *Frozen) Months() int { return len(f.months) }
+
+// Snapshots returns the number of frozen snapshots.
+func (f *Frozen) Snapshots() int { return len(f.snaps) }
+
+// Bands returns snapshot si's populated band indices in ascending
+// order, in a fresh slice.
+func (f *Frozen) Bands(si int) []int {
+	out := make([]int, len(f.snaps[si].bands))
+	for i := range f.snaps[si].bands {
+		out[i] = f.snaps[si].bands[i].band
+	}
+	return out
+}
+
+// SameMonthIndex returns the index into the frozen months of the month
+// coeval with snapshot si, mirroring SameMonth.
+func (f *Frozen) SameMonthIndex(si int) (int, error) {
+	idx := int(math.Floor(f.snaps[si].month))
+	for i := range f.months {
+		if f.months[i].month == idx {
+			return i, nil
+		}
+	}
+	return -1, fmt.Errorf("correlate: no honeyfarm month %d for snapshot %s", idx, f.snaps[si].label)
+}
+
+// PeakInto computes snapshot si's same-month correlation by brightness
+// band against month mi (Figure 4) into dst, reusing its capacity; it
+// allocates nothing once dst is large enough. The result is identical
+// to PeakCorrelation on the unfrozen study.
+func (f *Frozen) PeakInto(dst []BandFraction, si, mi int) []BandFraction {
+	snap := &f.snaps[si]
+	month := &f.months[mi]
+	dst = dst[:0]
+	for i := range snap.bands {
+		b := &snap.bands[i]
+		matched := countIntersect(b.ids, month.ids)
+		lo, hi := stats.Wilson95(matched, len(b.ids))
+		dst = append(dst, BandFraction{
+			Band:     b.band,
+			D:        stats.BandLow(b.band),
+			Sources:  len(b.ids),
+			Matched:  matched,
+			Fraction: float64(matched) / float64(len(b.ids)),
+			CILo:     lo,
+			CIHi:     hi,
+		})
+	}
+	return dst
+}
+
+// PeakCorrelation is PeakInto into a fresh slice.
+func (f *Frozen) PeakCorrelation(si, mi int) []BandFraction {
+	return f.PeakInto(make([]BandFraction, 0, len(f.snaps[si].bands)), si, mi)
+}
+
+// TemporalInto computes the Figure 5/6 temporal-correlation curve for
+// snapshot si and one brightness band into s, reusing its slices; it
+// allocates nothing once s's capacity covers the month count. Returns
+// an error when the band holds no sources, like TemporalCorrelation.
+func (f *Frozen) TemporalInto(s *Series, si, band int) error {
+	snap := &f.snaps[si]
+	ids := snap.bandIDs(band)
+	if len(ids) == 0 {
+		return fmt.Errorf("correlate: snapshot %s has no sources in band 2^%d", snap.label, band)
+	}
+	n := len(f.months)
+	s.Snapshot = snap.label
+	s.Band = band
+	s.Sources = len(ids)
+	s.Labels = growStrings(s.Labels, n)
+	s.Dt = growFloats(s.Dt, n)
+	s.Fraction = growFloats(s.Fraction, n)
+	for i := range f.months {
+		m := &f.months[i]
+		matched := countIntersect(ids, m.ids)
+		s.Labels[i] = m.label
+		s.Dt[i] = float64(m.month) - snap.month
+		s.Fraction[i] = float64(matched) / float64(len(ids))
+	}
+	return nil
+}
+
+// Temporal is TemporalInto into a fresh Series.
+func (f *Frozen) Temporal(si, band int) (Series, error) {
+	var s Series
+	if err := f.TemporalInto(&s, si, band); err != nil {
+		return Series{}, err
+	}
+	return s, nil
+}
+
+// FitSweep computes the modified-Cauchy fit for every band of snapshot
+// si holding at least minSources sources, in ascending band order —
+// identical to FitSweep on the unfrozen study, with the temporal series
+// built through one reused scratch instead of per-band maps.
+func (f *Frozen) FitSweep(si, minSources int) []BandFit {
+	snap := &f.snaps[si]
+	out := make([]BandFit, 0, len(snap.bands))
+	var s Series
+	for i := range snap.bands {
+		b := &snap.bands[i]
+		if len(b.ids) < minSources {
+			continue
+		}
+		if err := f.TemporalInto(&s, si, b.band); err != nil {
+			continue
+		}
+		fit := s.Fit()
+		mc := fit.Model.(stats.ModifiedCauchy)
+		out = append(out, BandFit{
+			Snapshot: snap.label,
+			Band:     b.band,
+			D:        stats.BandLow(b.band),
+			Sources:  s.Sources,
+			Alpha:    mc.Alpha,
+			Beta:     mc.Beta,
+			Drop:     mc.OneMonthDrop(),
+			Residual: fit.Residual,
+		})
+	}
+	return out
+}
+
+func growStrings(s []string, n int) []string {
+	if cap(s) < n {
+		return make([]string, n)
+	}
+	return s[:n]
+}
+
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}

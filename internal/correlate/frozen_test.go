@@ -1,0 +1,218 @@
+package correlate
+
+// frozen_test.go holds the sorted-key kernel to the map-based reference
+// implementation: identical artifacts on every figure, zero allocations
+// at steady state, and a property test on the merge intersection.
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// frozenFixture is a study with several bands, partial overlaps, and a
+// non-integer snapshot month — enough structure to exercise every
+// kernel path.
+func frozenFixture() Study {
+	truth := stats.ModifiedCauchy{Alpha: 1, Beta: 3}
+	return synthStudy([]int{0, 2, 4, 8, 12}, 120, 5.5, 15, func(b int, dt float64) float64 {
+		return 0.9 * truth.Eval(dt) * float64(b+1) / 13.0
+	})
+}
+
+func TestFrozenMatchesReference(t *testing.T) {
+	study := frozenFixture()
+	f := Freeze(study)
+	if f.Months() != len(study.Months) || f.Snapshots() != len(study.Snapshots) {
+		t.Fatalf("frozen shape %d/%d, want %d/%d",
+			f.Months(), f.Snapshots(), len(study.Months), len(study.Snapshots))
+	}
+
+	for si, snap := range study.Snapshots {
+		// Figure 4: same-month peak correlation.
+		month, err := SameMonth(snap, study.Months)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mi, err := f.SameMonthIndex(si)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if study.Months[mi].Month != month.Month {
+			t.Fatalf("SameMonthIndex = %d (month %d), want month %d", mi, study.Months[mi].Month, month.Month)
+		}
+		want := PeakCorrelation(snap, month)
+		got := f.PeakCorrelation(si, mi)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("PeakCorrelation differs:\nfrozen %+v\nmap    %+v", got, want)
+		}
+
+		// Figures 5/6: every populated band plus one absent band.
+		bands := append(f.Bands(si), 30)
+		for _, b := range bands {
+			wantS, wantErr := TemporalCorrelation(snap, study.Months, b)
+			gotS, gotErr := f.Temporal(si, b)
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("band %d: error mismatch: frozen %v, map %v", b, gotErr, wantErr)
+			}
+			if wantErr != nil {
+				if gotErr.Error() != wantErr.Error() {
+					t.Errorf("band %d: error text %q vs %q", b, gotErr, wantErr)
+				}
+				continue
+			}
+			if !reflect.DeepEqual(gotS, wantS) {
+				t.Errorf("band %d: Temporal differs:\nfrozen %+v\nmap    %+v", b, gotS, wantS)
+			}
+		}
+
+		// Figures 7/8: the fit sweep.
+		wantFits := FitSweep(snap, study.Months, 10)
+		gotFits := f.FitSweep(si, 10)
+		if !reflect.DeepEqual(gotFits, wantFits) {
+			t.Errorf("FitSweep differs:\nfrozen %+v\nmap    %+v", gotFits, wantFits)
+		}
+	}
+}
+
+func TestFrozenSameMonthMissing(t *testing.T) {
+	study := frozenFixture()
+	study.Snapshots[0].Month = 99
+	f := Freeze(study)
+	if _, err := f.SameMonthIndex(0); err == nil || !strings.Contains(err.Error(), "no honeyfarm month") {
+		t.Errorf("missing month: err = %v", err)
+	}
+}
+
+// TestFrozenKernelsAllocFree is the steady-state allocation gate for the
+// Figure 4-8 inner loops: once the Into destinations are warm, peak and
+// temporal measurements allocate nothing.
+func TestFrozenKernelsAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is perturbed under the race detector")
+	}
+	study := frozenFixture()
+	f := Freeze(study)
+	mi, err := f.SameMonthIndex(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	peak := f.PeakCorrelation(0, mi) // warm capacity
+	if n := testing.AllocsPerRun(100, func() {
+		peak = f.PeakInto(peak, 0, mi)
+	}); n != 0 {
+		t.Errorf("PeakInto allocates %.1f/op at steady state, want 0", n)
+	}
+
+	var s Series
+	band := f.Bands(0)[len(f.Bands(0))-1]
+	if err := f.TemporalInto(&s, 0, band); err != nil { // warm capacity
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if err := f.TemporalInto(&s, 0, band); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("TemporalInto allocates %.1f/op at steady state, want 0", n)
+	}
+}
+
+// TestCountIntersectProperty diffs the merge intersection against a
+// map-based oracle on random sorted sets.
+func TestCountIntersectProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		a := randomIDSet(rng, rng.Intn(200))
+		b := randomIDSet(rng, rng.Intn(200))
+		in := make(map[uint32]bool, len(a))
+		for _, x := range a {
+			in[x] = true
+		}
+		want := 0
+		for _, x := range b {
+			if in[x] {
+				want++
+			}
+		}
+		if got := countIntersect(a, b); got != want {
+			t.Fatalf("trial %d: countIntersect = %d, want %d (a=%v b=%v)", trial, got, want, a, b)
+		}
+	}
+}
+
+func randomIDSet(rng *rand.Rand, n int) []uint32 {
+	seen := make(map[uint32]bool, n)
+	out := make([]uint32, 0, n)
+	for len(out) < n {
+		v := uint32(rng.Intn(300))
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		out = append(out, v)
+	}
+	sortIDs(out)
+	return out
+}
+
+// BenchmarkFreeze measures the one-time interning cost of a study.
+func BenchmarkFreeze(b *testing.B) {
+	study := frozenFixture()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Freeze(study)
+	}
+}
+
+// BenchmarkCorrelatePeak measures the Figure 4 kernel at steady state.
+func BenchmarkCorrelatePeak(b *testing.B) {
+	f := Freeze(frozenFixture())
+	mi, err := f.SameMonthIndex(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst := f.PeakCorrelation(0, mi)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = f.PeakInto(dst, 0, mi)
+	}
+}
+
+// BenchmarkCorrelateTemporal measures the Figure 5/6 kernel at steady
+// state.
+func BenchmarkCorrelateTemporal(b *testing.B) {
+	f := Freeze(frozenFixture())
+	band := f.Bands(0)[len(f.Bands(0))-1]
+	var s Series
+	if err := f.TemporalInto(&s, 0, band); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := f.TemporalInto(&s, 0, band); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCorrelateTemporalMap is the retained map-based reference,
+// for the speedup comparison in benchmark output.
+func BenchmarkCorrelateTemporalMap(b *testing.B) {
+	study := frozenFixture()
+	band := Freeze(study).Bands(0)[len(Freeze(study).Bands(0))-1]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := TemporalCorrelation(study.Snapshots[0], study.Months, band); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

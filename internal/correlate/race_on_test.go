@@ -1,0 +1,5 @@
+//go:build race
+
+package correlate
+
+const raceEnabled = true

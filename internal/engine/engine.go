@@ -43,6 +43,38 @@ type Errorer interface {
 	Err() error
 }
 
+// BatchSource is optionally implemented by sources that can emit many
+// packets per call (radiation.Stream). NextBatch must fill dst from the
+// front and return how many packets were produced, behaving exactly
+// like len(dst) successful Next calls: same packets, same order, same
+// stream position. When a source implements it, the engine's reader
+// pulls slabs instead of single packets, amortizing the per-packet
+// dispatch that otherwise bottlenecks every shard worker behind the
+// reader goroutine.
+//
+// The reader caps each slab at the number of packets still missing from
+// the window, so a capture never consumes a packet the per-packet path
+// would have left in the source: multi-window captures over one shared
+// source cut identical window boundaries either way.
+type BatchSource interface {
+	NextBatch(dst []pcap.Packet) int
+}
+
+// batchAdapter lifts a per-packet source to the BatchSource contract by
+// repeated Next calls, so the capture paths carry exactly one reader
+// loop each (the slab loop) instead of a slab/per-packet pair that must
+// be kept in sync. The slab-size cap in the capture loops makes this
+// consume exactly the packets a per-packet loop would (see BatchSource).
+type batchAdapter struct{ src PacketSource }
+
+func (a batchAdapter) NextBatch(dst []pcap.Packet) int {
+	n := 0
+	for n < len(dst) && a.src.Next(&dst[n]) {
+		n++
+	}
+	return n
+}
+
 // Filter reports whether a packet belongs in the window (the telescope's
 // validity filter). It runs on the reader goroutine.
 type Filter func(*pcap.Packet) bool
@@ -172,12 +204,16 @@ func (e *Engine) CaptureWindow(ctx context.Context, src PacketSource, nv int) (*
 	if nv <= 0 {
 		return nil, fmt.Errorf("engine: window size must be positive, got %d", nv)
 	}
+	bs, ok := src.(BatchSource)
+	if !ok {
+		bs = batchAdapter{src: src}
+	}
 	var w *Window
 	var err error
 	if e.cfg.Workers == 1 {
-		w, err = e.captureSerial(ctx, src, nv)
+		w, err = e.captureSerial(ctx, bs, nv)
 	} else {
-		w, err = e.captureSharded(ctx, src, nv)
+		w, err = e.captureSharded(ctx, bs, nv)
 	}
 	if err != nil {
 		return nil, err
@@ -200,27 +236,42 @@ const ctxPollInterval = 4096
 // interleaves filtering, mapping, and leaf assembly, exactly mirroring
 // the pre-engine telescope build. It is kept as the correctness oracle
 // the sharded path is diffed against.
-func (e *Engine) captureSerial(ctx context.Context, src PacketSource, nv int) (*Window, error) {
+func (e *Engine) captureSerial(ctx context.Context, src BatchSource, nv int) (*Window, error) {
 	acc := e.getAcc()
 	defer e.accPool.Put(acc)
 	mapper := e.factory(0)
 	w := &Window{Shards: 1}
-	var pkt pcap.Packet
+	raw := e.getBatch()
+	defer e.putBatch(raw)
+	slab := (*raw)[:cap(*raw)]
 	read := 0
-	for w.NV < nv && src.Next(&pkt) {
-		read++
-		if read%ctxPollInterval == 0 && ctx.Err() != nil {
-			acc.Discard() // O(1) reset before returning to the pool; no merge
-			return nil, ctx.Err()
+	for w.NV < nv {
+		want := nv - w.NV
+		if want > len(slab) {
+			want = len(slab)
 		}
-		if !e.filter(&pkt) {
-			w.Dropped++
-			continue
+		n := src.NextBatch(slab[:want])
+		if n == 0 {
+			break
 		}
-		e.observe(w, &pkt)
-		p := mapper(&pkt)
-		acc.Add(p.Row, p.Col, 1)
-		w.NV++
+		if read += n; read >= ctxPollInterval {
+			read = 0
+			if ctx.Err() != nil {
+				acc.Discard() // O(1) reset before returning to the pool; no merge
+				return nil, ctx.Err()
+			}
+		}
+		for i := range slab[:n] {
+			pkt := &slab[i]
+			if !e.filter(pkt) {
+				w.Dropped++
+				continue
+			}
+			e.observe(w, pkt)
+			p := mapper(pkt)
+			acc.Add(p.Row, p.Col, 1)
+			w.NV++
+		}
 	}
 	w.Leaves = acc.Leaves()
 	if w.NV%e.cfg.LeafSize != 0 {
@@ -240,7 +291,7 @@ type shardResult struct {
 // filters the stream while Workers shard goroutines map coordinates and
 // cut leaves, each reducing its own leaves before the final cross-shard
 // hierarchical merge.
-func (e *Engine) captureSharded(ctx context.Context, src PacketSource, nv int) (*Window, error) {
+func (e *Engine) captureSharded(ctx context.Context, src BatchSource, nv int) (*Window, error) {
 	batches := make(chan *[]pcap.Packet, e.cfg.Queue)
 	results := make(chan shardResult, e.cfg.Workers)
 	var wg sync.WaitGroup
@@ -252,34 +303,52 @@ func (e *Engine) captureSharded(ctx context.Context, src PacketSource, nv int) (
 		}(i)
 	}
 
+	// The reader pulls whole slabs and compacts the accepted packets
+	// into shard batches, so the per-packet cost on the (serial) reader
+	// goroutine is one filter call and one copy.
 	w := &Window{}
 	batch := e.getBatch()
-	var pkt pcap.Packet
 	var readErr error
+	raw := e.getBatch()
+	slab := (*raw)[:cap(*raw)]
 	read := 0
-	for w.NV < nv && src.Next(&pkt) {
-		read++
-		if read%ctxPollInterval == 0 && ctx.Err() != nil {
-			readErr = ctx.Err()
-			e.putBatch(batch)
-			batch = nil
+	for w.NV < nv && batch != nil {
+		want := nv - w.NV
+		if want > len(slab) {
+			want = len(slab)
+		}
+		n := src.NextBatch(slab[:want])
+		if n == 0 {
 			break
 		}
-		if !e.filter(&pkt) {
-			w.Dropped++
-			continue
-		}
-		e.observe(w, &pkt)
-		*batch = append(*batch, pkt)
-		w.NV++
-		if len(*batch) == e.cfg.Batch {
-			if readErr = e.send(ctx, batches, batch); readErr != nil {
+		if read += n; read >= ctxPollInterval {
+			read = 0
+			if ctx.Err() != nil {
+				readErr = ctx.Err()
+				e.putBatch(batch)
 				batch = nil
 				break
 			}
-			batch = e.getBatch()
+		}
+		for i := range slab[:n] {
+			pkt := &slab[i]
+			if !e.filter(pkt) {
+				w.Dropped++
+				continue
+			}
+			e.observe(w, pkt)
+			*batch = append(*batch, *pkt)
+			w.NV++
+			if len(*batch) == e.cfg.Batch {
+				if readErr = e.send(ctx, batches, batch); readErr != nil {
+					batch = nil
+					break
+				}
+				batch = e.getBatch()
+			}
 		}
 	}
+	e.putBatch(raw)
 	if readErr == nil && batch != nil && len(*batch) > 0 {
 		readErr = e.send(ctx, batches, batch)
 	}

@@ -288,3 +288,93 @@ func TestBadWindowSize(t *testing.T) {
 		t.Error("nv=0 accepted")
 	}
 }
+
+// perPacketOnly hides a stream's NextBatch so the engine is forced onto
+// the per-packet reader path — the oracle the slab path is diffed
+// against.
+type perPacketOnly struct{ s *radiation.Stream }
+
+func (p perPacketOnly) Next(pkt *pcap.Packet) bool { return p.s.Next(pkt) }
+
+// TestBatchSourceMatchesPerPacket diffs the slab reader against the
+// per-packet reader on the same seeded stream: identical windows (NV,
+// drops, span, leaves, every matrix entry) at every worker count.
+func TestBatchSourceMatchesPerPacket(t *testing.T) {
+	const nv = 1 << 12
+	for _, workers := range []int{1, 4} {
+		batched, dark := testStream(t, 11)
+		plain, _ := testStream(t, 11)
+		e := testEngine(t, Config{Workers: workers, LeafSize: 1 << 8}, dark)
+		wb, err := e.CaptureWindow(context.Background(), batched, nv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wp, err := e.CaptureWindow(context.Background(), perPacketOnly{plain}, nv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wb.NV != wp.NV || wb.Dropped != wp.Dropped || wb.Leaves != wp.Leaves ||
+			!wb.Start.Equal(wp.Start) || !wb.End.Equal(wp.End) {
+			t.Fatalf("workers=%d: window accounting differs:\nslab       %+v\nper-packet %+v", workers, wb, wp)
+		}
+		be, pe := entries(wb.Matrix), entries(wp.Matrix)
+		if len(be) != len(pe) {
+			t.Fatalf("workers=%d: NNZ %d vs %d", workers, len(be), len(pe))
+		}
+		for i := range be {
+			if be[i] != pe[i] {
+				t.Fatalf("workers=%d: entry %d differs: %+v vs %+v", workers, i, be[i], pe[i])
+			}
+		}
+	}
+}
+
+// TestBatchSourcePreservesStreamPosition captures several back-to-back
+// windows from one shared stream on both reader paths: the slab reader
+// must never consume a packet beyond each window's last accepted one,
+// so every subsequent window cuts identical boundaries.
+func TestBatchSourcePreservesStreamPosition(t *testing.T) {
+	const nv = 1 << 10
+	batched, dark := testStream(t, 23)
+	plain, _ := testStream(t, 23)
+	e := testEngine(t, Config{Workers: 1, LeafSize: 1 << 7}, dark)
+	for window := 0; window < 4; window++ {
+		wb, err := e.CaptureWindow(context.Background(), batched, nv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wp, err := e.CaptureWindow(context.Background(), perPacketOnly{plain}, nv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wb.NV != wp.NV || wb.Dropped != wp.Dropped || !wb.End.Equal(wp.End) {
+			t.Fatalf("window %d: diverged after shared-source capture:\nslab       %+v\nper-packet %+v",
+				window, wb, wp)
+		}
+		be, pe := entries(wb.Matrix), entries(wp.Matrix)
+		if len(be) != len(pe) {
+			t.Fatalf("window %d: NNZ %d vs %d", window, len(be), len(pe))
+		}
+		for i := range be {
+			if be[i] != pe[i] {
+				t.Fatalf("window %d: entry %d differs", window, i)
+			}
+		}
+		if window == 0 && wb.NV != nv {
+			t.Fatalf("first window short: %d of %d", wb.NV, nv)
+		}
+	}
+}
+
+// TestBatchSourceCancellation asserts the slab reader honors context
+// cancellation mid-window without leaking goroutines or wedging on
+// backpressure.
+func TestBatchSourceCancellation(t *testing.T) {
+	st, dark := testStream(t, 5)
+	e := testEngine(t, Config{Workers: 4, LeafSize: 1 << 6, Queue: 1}, dark)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.CaptureWindow(ctx, st, 1<<20); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled slab capture: err = %v", err)
+	}
+}

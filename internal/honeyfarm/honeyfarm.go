@@ -91,6 +91,14 @@ func (h *Honeyfarm) Month(label string) *MonthWindow {
 // the conversation engine from each source's behavior, not copied from
 // generator internals.
 func (h *Honeyfarm) IngestMonth(label string, start time.Time, obs []radiation.Observation) *MonthWindow {
+	return h.Attach(h.BuildMonth(label, start, obs))
+}
+
+// BuildMonth builds one month window without attaching it to the farm.
+// It only reads the (immutable) sensor set, so any number of months may
+// build concurrently; the study scheduler fans months out across
+// workers this way and attaches them in month order afterwards.
+func (h *Honeyfarm) BuildMonth(label string, start time.Time, obs []radiation.Observation) *MonthWindow {
 	table := assoc.New()
 	for _, o := range obs {
 		row := o.Src.IP.String()
@@ -102,7 +110,12 @@ func (h *Honeyfarm) IngestMonth(label string, start time.Time, obs []radiation.O
 		table.Set(row, ColLastSeen, assoc.Str(o.LastSeen.UTC().Format(time.RFC3339)))
 		table.Set(row, ColTags, assoc.Str(strings.Join(profile.Tags, ",")))
 	}
-	mw := &MonthWindow{Label: label, Start: start, Table: table}
+	return &MonthWindow{Label: label, Start: start, Table: table}
+}
+
+// Attach appends a built month window to the farm's ingestion order.
+// Not safe for concurrent use; the scheduler serializes attaches.
+func (h *Honeyfarm) Attach(mw *MonthWindow) *MonthWindow {
 	h.months = append(h.months, mw)
 	return mw
 }

@@ -170,6 +170,28 @@ func (st *Stream) Next(pkt *pcap.Packet) bool {
 	if len(st.heap) == 0 {
 		return false
 	}
+	st.emit(pkt)
+	return true
+}
+
+// NextBatch fills dst with the next len(dst) packets in time order and
+// returns how many were produced (fewer only when the window is
+// exhausted). One NextBatch(dst[:n]) call emits exactly the packets n
+// Next calls would — same order, same content, same stream position —
+// while amortizing the per-packet call overhead the engine's reader
+// otherwise pays; the engine uses it through its BatchSource fast path.
+func (st *Stream) NextBatch(dst []pcap.Packet) int {
+	n := 0
+	for n < len(dst) && len(st.heap) > 0 {
+		st.emit(&dst[n])
+		n++
+	}
+	return n
+}
+
+// emit pops the earliest train, synthesizes its packet, and re-sifts the
+// heap. The heap must be non-empty.
+func (st *Stream) emit(pkt *pcap.Packet) {
 	k := &st.heap[0]
 	tr := &st.trains[k.idx]
 	src := &st.pop.sources[tr.srcIdx]
@@ -186,7 +208,6 @@ func (st *Stream) Next(pkt *pcap.Packet) bool {
 	}
 	st.heap.siftDown(0)
 	st.emitted++
-	return true
 }
 
 // fill synthesizes the packet content for one emission of src.

@@ -410,3 +410,105 @@ func BenchmarkTelescopeStream(b *testing.B) {
 		}
 	}
 }
+
+// TestNextBatchMatchesNext proves the slab emission API is
+// byte-identical to per-packet emission: two streams from the same
+// seed, one drained by Next and one by mixed-size NextBatch calls,
+// produce the same packet sequence and the same stream accounting.
+func TestNextBatchMatchesNext(t *testing.T) {
+	pop, err := NewPopulation(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Date(2020, 6, 17, 12, 0, 0, 0, time.UTC)
+	one := pop.TelescopeStream(4.5, start)
+	batched := pop.TelescopeStream(4.5, start)
+
+	sizes := []int{1, 7, 64, 3, 512, 1}
+	slab := make([]pcap.Packet, 512)
+	var single pcap.Packet
+	total, si := 0, 0
+	for {
+		n := batched.NextBatch(slab[:sizes[si%len(sizes)]])
+		si++
+		for i := 0; i < n; i++ {
+			if !one.Next(&single) {
+				t.Fatalf("per-packet stream exhausted at %d, batch stream still emitting", total)
+			}
+			if single != slab[i] {
+				t.Fatalf("packet %d differs:\nnext  %+v\nbatch %+v", total, single, slab[i])
+			}
+			total++
+		}
+		if n == 0 {
+			break
+		}
+	}
+	if one.Next(&single) {
+		t.Fatal("batch stream exhausted early")
+	}
+	if total != one.ExpectedPackets() || batched.Emitted() != one.Emitted() {
+		t.Fatalf("emitted %d (batch) vs %d (next), expected %d", batched.Emitted(), one.Emitted(), total)
+	}
+	if total == 0 {
+		t.Fatal("stream produced no packets")
+	}
+}
+
+// TestNextBatchZeroLength asserts an empty slab is a no-op.
+func TestNextBatchZeroLength(t *testing.T) {
+	pop, err := NewPopulation(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := pop.TelescopeStream(4.5, time.Unix(0, 0))
+	if n := st.NextBatch(nil); n != 0 {
+		t.Fatalf("NextBatch(nil) = %d", n)
+	}
+	if st.Emitted() != 0 {
+		t.Fatal("empty batch advanced the stream")
+	}
+}
+
+// BenchmarkStreamNext measures per-packet emission.
+func BenchmarkStreamNext(b *testing.B) {
+	pop, err := NewPopulation(smallConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := pop.TelescopeStream(4.5, time.Unix(0, 0))
+	var pkt pcap.Packet
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !st.Next(&pkt) {
+			b.StopTimer()
+			st = pop.TelescopeStream(4.5, time.Unix(0, 0))
+			b.StartTimer()
+		}
+	}
+}
+
+// BenchmarkStreamNextBatch measures slab emission at the engine's
+// default slab size.
+func BenchmarkStreamNextBatch(b *testing.B) {
+	pop, err := NewPopulation(smallConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := pop.TelescopeStream(4.5, time.Unix(0, 0))
+	slab := make([]pcap.Packet, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	n := 0
+	for n < b.N {
+		got := st.NextBatch(slab)
+		if got == 0 {
+			b.StopTimer()
+			st = pop.TelescopeStream(4.5, time.Unix(0, 0))
+			b.StartTimer()
+			continue
+		}
+		n += got
+	}
+}
