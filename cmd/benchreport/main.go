@@ -22,9 +22,11 @@
 //
 // With -study the report is the BENCH_study.json schema: whole-study
 // wall clock for the StudyWorkers=1 serial oracle and the parallel
-// scheduler (with engine packets/sec), their speedup, and ns/op +
-// allocs/op for the frozen correlation kernels (Figure 4's peak and
-// Figures 5-8's temporal series). Its gates:
+// scheduler (with engine packets/sec), their speedup, the report
+// graph's fit_wall phase (the Fig 7/8 GridSearch2 sweeps at
+// ReportWorkers=1 vs the pool-scheduled fan-out, with fits/sec), and
+// ns/op + allocs/op for the frozen correlation kernels (Figure 4's
+// peak and Figures 5-8's temporal series). Its gates:
 //
 //   - the correlation kernels must be allocation-free at steady state
 //     (machine-independent, always enforced);
@@ -32,7 +34,11 @@
 //     only on machines with at least study_speedup_min_cpus CPUs,
 //     since the fan-out merely interleaves on fewer cores; below that
 //     the report records the measured value and annotates the skip
-//     (the numcpu field makes the context machine-readable).
+//     (the numcpu field makes the context machine-readable);
+//   - the pool-scheduled fits must be >= 2x the serial sweep, with the
+//     same CPU floor (fit_speedup_min_cpus) and annotation policy —
+//     and must render fig7_fig8 byte-identical to the serial oracle,
+//     which is checked unconditionally on every -study run.
 //
 // Every report records gomaxprocs and numcpu so cross-machine numbers
 // (e.g. multi-worker metrics measured on a 1-CPU container, where w8
@@ -54,6 +60,7 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -62,6 +69,7 @@ import (
 	"repro/internal/hypersparse"
 	"repro/internal/netquant"
 	"repro/internal/radiation"
+	"repro/internal/report"
 	"repro/internal/stats"
 	"repro/internal/telescope"
 )
@@ -94,7 +102,12 @@ type Report struct {
 	// together with numcpu — on a 1-CPU machine it hovers near 1x by
 	// construction.
 	StudySpeedup float64 `json:"study_speedup,omitempty"`
-	Gates        Gates   `json:"gates"`
+	// FitSpeedup is the report graph's fit-phase advantage: the
+	// pool-scheduled per-(snapshot, band) GridSearch2 sweeps vs the
+	// ReportWorkers=1 serial oracle. Study schema only; same numcpu
+	// caveat as StudySpeedup.
+	FitSpeedup float64 `json:"fit_speedup,omitempty"`
+	Gates      Gates   `json:"gates"`
 	// Seed preserves the pre-refactor measurements this PR started from,
 	// so the trajectory keeps its origin even as the baseline moves.
 	Seed map[string]Metric `json:"seed,omitempty"`
@@ -113,6 +126,10 @@ type Gates struct {
 	CorrelateAllocsMax  float64 `json:"correlate_allocs_max"`
 	StudySpeedupMin     float64 `json:"study_speedup_min,omitempty"`
 	StudySpeedupMinCPUs int     `json:"study_speedup_min_cpus,omitempty"`
+	// Fit-phase gates: the pool-scheduled Fig 7/8 sweep's floor over
+	// the serial oracle, CPU-floored like the study speedup.
+	FitSpeedupMin     float64 `json:"fit_speedup_min,omitempty"`
+	FitSpeedupMinCPUs int     `json:"fit_speedup_min_cpus,omitempty"`
 }
 
 func defaultGates() Gates {
@@ -143,6 +160,11 @@ func defaultStudyGates() Gates {
 		// 8-snapshot fixture built for that margin.
 		StudySpeedupMin:     2,
 		StudySpeedupMinCPUs: 6,
+		// The fit jobs are pure CPU and plentiful (every snapshot
+		// contributes ~a dozen bands), so unlike the 5-snapshot study
+		// wall, 4 CPUs already give the >= 2x bar real headroom.
+		FitSpeedupMin:     2,
+		FitSpeedupMinCPUs: 4,
 	}
 }
 
@@ -191,8 +213,8 @@ func main() {
 			os.Exit(1)
 		}
 		if *study {
-			fmt.Printf("benchreport: all gates pass against %s (study speedup %.2fx on %d CPUs)\n",
-				*check, rep.StudySpeedup, rep.NumCPU)
+			fmt.Printf("benchreport: all gates pass against %s (study speedup %.2fx, fit speedup %.2fx on %d CPUs)\n",
+				*check, rep.StudySpeedup, rep.FitSpeedup, rep.NumCPU)
 		} else {
 			fmt.Printf("benchreport: all gates pass against %s (merge speedup %.2fx)\n", *check, rep.MergeSpeedup)
 		}
@@ -241,6 +263,16 @@ func compare(fresh, base *Report, maxRegress float64) []string {
 			fmt.Printf("benchreport: %d CPUs < %d required to measure study fan-out; "+
 				"study_speedup gate annotated and skipped (measured %.2fx)\n",
 				fresh.NumCPU, g.StudySpeedupMinCPUs, fresh.StudySpeedup)
+		}
+		if fresh.NumCPU >= g.FitSpeedupMinCPUs {
+			if fresh.FitSpeedup < g.FitSpeedupMin {
+				errs = append(errs, fmt.Sprintf("fit_speedup %.2fx below gate %.2fx at %d CPUs",
+					fresh.FitSpeedup, g.FitSpeedupMin, fresh.NumCPU))
+			}
+		} else if g.FitSpeedupMinCPUs > 0 {
+			fmt.Printf("benchreport: %d CPUs < %d required to measure fit fan-out; "+
+				"fit_speedup gate annotated and skipped (measured %.2fx)\n",
+				fresh.NumCPU, g.FitSpeedupMinCPUs, fresh.FitSpeedup)
 		}
 	} else {
 		checkAllocs("leaf_build", g.LeafBuildAllocsMax)
@@ -522,6 +554,43 @@ func measureStudy(quick bool) *Report {
 		ItemsPerSec: float64(pkts) / parWall.Seconds(),
 	}
 	rep.StudySpeedup = float64(serialWall) / float64(parWall)
+
+	// fit_wall: the report graph's Fig 7/8 GridSearch2 sweeps — the
+	// dominant post-capture cost — on the serial oracle vs the
+	// pool-scheduled per-(snapshot, band) fan-out. The frozen study is
+	// prebuilt so the phase isolates pure fit compute, and the
+	// parallel render is checked byte-identical to the serial oracle
+	// on every run (the parity half of the fit gate, not CPU-floored).
+	frozen := res.Frozen()
+	fitJobs := 0
+	for si := 0; si < frozen.Snapshots(); si++ {
+		fitJobs += len(frozen.SweepBands(si, cfg.MinBandSources))
+	}
+	renderFits := func(workers int) string {
+		var b strings.Builder
+		if err := report.WriteTSV(&b, res.ReportWith(workers), report.Fig7Fig8); err != nil {
+			log.Fatal(err)
+		}
+		return b.String()
+	}
+	fitSerial := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res.ReportWith(1).Fig7And8()
+		}
+	})
+	fitPar := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res.ReportWith(parWorkers).Fig7And8()
+		}
+	})
+	rep.Metrics["fit_wall_serial"] = toMetric(fitSerial, fitJobs)
+	rep.Metrics["fit_wall_parallel"] = toMetric(fitPar, fitJobs)
+	if fitPar.NsPerOp() > 0 {
+		rep.FitSpeedup = float64(fitSerial.NsPerOp()) / float64(fitPar.NsPerOp())
+	}
+	if serial, par := renderFits(1), renderFits(parWorkers); serial != par {
+		log.Fatalf("benchreport: fig7_fig8 render at ReportWorkers=%d diverges from the serial oracle", parWorkers)
+	}
 
 	// One-time interning cost of the study's tables.
 	rep.Metrics["correlate_freeze"] = toMetric(testing.Benchmark(func(b *testing.B) {

@@ -3,6 +3,11 @@
 // per-snapshot Zipf-Mandelbrot fits (Figure 3), the same-month
 // brightness law (Figure 4), the model comparison on the temporal decay
 // (Figure 5), and the per-band modified-Cauchy parameters (Figures 7-8).
+//
+// The artifact tables are the unified report renderer's TSV, aligned
+// through a tabwriter — the same bytes cmd/figures writes to disk —
+// while the Figure 3 and Figure 5 sections stay hand-written summaries
+// (fit parameters, not the full curves).
 package main
 
 import (
@@ -13,16 +18,18 @@ import (
 	"text/tabwriter"
 
 	"repro/internal/core"
+	"repro/internal/report"
 	"repro/internal/stats"
 )
 
 func main() {
 	var (
-		scale        = flag.String("scale", "default", "preset: quick or default")
-		nv           = flag.Int("nv", 0, "override telescope window size NV")
-		sources      = flag.Int("sources", 0, "override population size")
-		seed         = flag.Int64("seed", 0, "override random seed")
-		studyWorkers = flag.Int("study-workers", 0, "study-level fan-out: months/snapshots in flight (1 = serial oracle, 0 = GOMAXPROCS)")
+		scale         = flag.String("scale", "default", "preset: quick or default")
+		nv            = flag.Int("nv", 0, "override telescope window size NV")
+		sources       = flag.Int("sources", 0, "override population size")
+		seed          = flag.Int64("seed", 0, "override random seed")
+		studyWorkers  = flag.Int("study-workers", 0, "study-level fan-out: months/snapshots in flight (1 = serial oracle, 0 = GOMAXPROCS)")
+		reportWorkers = flag.Int("report-workers", 0, "report-graph fit fan-out (1 = serial oracle, 0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -40,6 +47,7 @@ func main() {
 		cfg.Radiation.Seed = *seed
 	}
 	cfg.StudyWorkers = *studyWorkers
+	cfg.ReportWorkers = *reportWorkers
 
 	pipe, err := core.New(cfg)
 	if err != nil {
@@ -49,16 +57,19 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	g := res.Report()
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	defer tw.Flush()
 
-	fmt.Fprintf(tw, "== Dataset inventory (Table I) ==\n")
-	fmt.Fprintf(tw, "GN start\tdays\tGN sources\tCAIDA start\tduration\tpackets\tsources\n")
-	for _, r := range res.TableI() {
-		fmt.Fprintf(tw, "%s\t%d\t%d\t%s\t%s\t%d\t%d\n",
-			r.GNStart, r.GNDays, r.GNSources, r.CAIDAStart, r.CAIDADuration, r.CAIDAPackets, r.CAIDASources)
+	section := func(title string, id report.ArtifactID) {
+		fmt.Fprintf(tw, "%s\n", title)
+		if err := report.WriteTSV(tw, g, id); err != nil {
+			log.Fatal(err)
+		}
 	}
+
+	section("== Dataset inventory (Table I) ==", report.Table1)
 
 	fmt.Fprintf(tw, "\n== Source-packet degree distribution (Figure 3) ==\n")
 	fmt.Fprintf(tw, "snapshot\tZM alpha\tZM delta\tresidual\t(paper: alpha 1.76, delta 3.93)\n")
@@ -66,17 +77,8 @@ func main() {
 		fmt.Fprintf(tw, "%s\t%.2f\t%.2f\t%.4f\t\n", s.Label, s.Alpha, s.Delta, s.Residual)
 	}
 
-	fmt.Fprintf(tw, "\n== Same-month correlation vs brightness (Figure 4) ==\n")
-	fig4, err := res.Fig4()
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Fprintf(tw, "snapshot\td\tsources\tfraction\tmodel log2(d)/log2(sqrt(NV))\n")
-	for _, s := range fig4 {
-		for i, p := range s.Points {
-			fmt.Fprintf(tw, "%s\t%g\t%d\t%.3f\t%.3f\n", s.Label, p.D, p.Sources, p.Fraction, s.Model[i])
-		}
-	}
+	fmt.Fprintln(tw)
+	section("== Same-month correlation vs brightness (Figure 4) ==", report.Fig4)
 
 	fmt.Fprintf(tw, "\n== Temporal decay model comparison (Figure 5) ==\n")
 	series, fits, err := res.Fig5()
@@ -97,12 +99,6 @@ func main() {
 		}
 	}
 
-	fmt.Fprintf(tw, "\n== Modified-Cauchy parameters by brightness (Figures 7 and 8) ==\n")
-	fmt.Fprintf(tw, "snapshot\td\tsources\talpha\tbeta\t1-month drop\n")
-	for _, sweep := range res.Fig7And8() {
-		for _, f := range sweep {
-			fmt.Fprintf(tw, "%s\t%g\t%d\t%.2f\t%.2f\t%.0f%%\n",
-				f.Snapshot, f.D, f.Sources, f.Alpha, f.Beta, 100*f.Drop)
-		}
-	}
+	fmt.Fprintln(tw)
+	section("== Modified-Cauchy parameters by brightness (Figures 7 and 8) ==", report.Fig7Fig8)
 }

@@ -7,7 +7,11 @@
 //
 //	experiments [-scale quick|default] [-nv N] [-sources N] [-seed N]
 //	            [-workers N] [-leaf-size N] [-batch N] [-study-workers N]
-//	            [-store ADDR|auto]
+//	            [-report-workers N] [-artifacts DIR] [-store ADDR|auto]
+//
+// Every measured value comes off the unified report graph (the same
+// memoized artifacts cmd/figures renders); -artifacts additionally
+// dumps all seven as TSV through the shared renderer.
 package main
 
 import (
@@ -18,9 +22,11 @@ import (
 	"math"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/report"
 	"repro/internal/stats"
 	"repro/internal/tripled"
 )
@@ -42,6 +48,8 @@ func main() {
 		leafSize = flag.Int("leaf-size", 0, "override entries per hypersparse leaf matrix")
 		batch    = flag.Int("batch", 0, "packets per engine batch (0 = leaf size)")
 		study    = flag.Int("study-workers", 0, "study-level fan-out: months/snapshots in flight (1 = serial oracle, 0 = GOMAXPROCS)")
+		repWork  = flag.Int("report-workers", 0, "report-graph fit fan-out (1 = serial oracle, 0 = GOMAXPROCS)")
+		artDir   = flag.String("artifacts", "", "also write all seven artifacts as TSV to this directory")
 		store    = flag.String("store", "", `tripled D4M server for the correlation tables ("auto" = in-process)`)
 	)
 	flag.Parse()
@@ -65,6 +73,7 @@ func main() {
 	}
 	cfg.Batch = *batch
 	cfg.StudyWorkers = *study
+	cfg.ReportWorkers = *repWork
 	if *store == "auto" {
 		srv, err := tripled.Serve(tripled.NewStore(), "127.0.0.1:0")
 		if err != nil {
@@ -94,6 +103,27 @@ func main() {
 	log.Printf("study complete in %s: %d windows x %d packets through the engine hot path (%.0f pkts/s wall, whole study)",
 		elapsed.Round(time.Millisecond), len(res.Windows), cfg.NV,
 		float64(len(res.Windows)*cfg.NV)/elapsed.Seconds())
+
+	if *artDir != "" {
+		if err := os.MkdirAll(*artDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		g := res.Report()
+		for _, id := range report.All() {
+			name := filepath.Join(*artDir, report.Filename(id, "tsv"))
+			f, err := os.Create(name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := report.WriteTSV(f, g, id); err != nil {
+				log.Fatalf("%s: %v", name, err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}
+		log.Printf("wrote %d artifacts to %s", len(report.All()), *artDir)
+	}
 
 	var checks []check
 

@@ -1,12 +1,16 @@
-// Command figures regenerates every table and figure of the paper as
-// tab-separated series, one file per artifact (or stdout with -stdout).
+// Command figures regenerates every table and figure of the paper
+// through the unified report subsystem, one file per artifact (or
+// stdout with -stdout), as TSV or JSON.
 //
 // Usage:
 //
 //	figures [-scale quick|default] [-nv N] [-sources N] [-seed N]
+//	        [-format tsv|json] [-report-workers N]
 //	        [-out DIR] [-stdout] [-only table1,fig3,...]
 //
-// Artifacts: table1, table2, fig3, fig4, fig5, fig6, fig7, fig8.
+// Artifacts: table1, table2, fig3, fig4, fig5, fig6, fig7, fig8
+// (fig7 and fig8 share one file, fig7_fig8, as both render the same
+// per-band fit sweep).
 package main
 
 import (
@@ -19,19 +23,25 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/report"
 )
 
 func main() {
 	var (
-		scale   = flag.String("scale", "default", "preset: quick or default")
-		nv      = flag.Int("nv", 0, "override telescope window size NV")
-		sources = flag.Int("sources", 0, "override population size")
-		seed    = flag.Int64("seed", 0, "override random seed")
-		outDir  = flag.String("out", "figures_out", "output directory for TSV files")
-		stdout  = flag.Bool("stdout", false, "write everything to stdout instead of files")
-		only    = flag.String("only", "", "comma-separated subset of artifacts")
+		scale         = flag.String("scale", "default", "preset: quick or default")
+		nv            = flag.Int("nv", 0, "override telescope window size NV")
+		sources       = flag.Int("sources", 0, "override population size")
+		seed          = flag.Int64("seed", 0, "override random seed")
+		format        = flag.String("format", "tsv", "output encoding: tsv or json")
+		reportWorkers = flag.Int("report-workers", 0, "report-graph fit fan-out (1 = serial oracle, 0 = GOMAXPROCS)")
+		outDir        = flag.String("out", "figures_out", "output directory")
+		stdout        = flag.Bool("stdout", false, "write everything to stdout instead of files")
+		only          = flag.String("only", "", "comma-separated subset of artifacts")
 	)
 	flag.Parse()
+	if *format != "tsv" && *format != "json" {
+		log.Fatalf("figures: -format must be tsv or json, got %q", *format)
+	}
 
 	cfg := core.DefaultConfig()
 	if *scale == "quick" {
@@ -46,14 +56,22 @@ func main() {
 	if *seed != 0 {
 		cfg.Radiation.Seed = *seed
 	}
+	cfg.ReportWorkers = *reportWorkers
 
-	want := map[string]bool{}
+	// -only keys are the historical eight names; fig7 and fig8 both
+	// select the fused fig7_fig8 artifact.
+	want := map[report.ArtifactID]bool{}
 	if *only != "" {
 		for _, k := range strings.Split(*only, ",") {
-			want[strings.TrimSpace(k)] = true
+			switch k = strings.TrimSpace(k); k {
+			case "fig7", "fig8":
+				want[report.Fig7Fig8] = true
+			default:
+				want[report.ArtifactID(k)] = true
+			}
 		}
 	}
-	enabled := func(k string) bool { return len(want) == 0 || want[k] }
+	enabled := func(id report.ArtifactID) bool { return len(want) == 0 || want[id] }
 
 	pipe, err := core.New(cfg)
 	if err != nil {
@@ -65,6 +83,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	g := res.Report()
 
 	open := func(name string) (io.WriteCloser, error) {
 		if *stdout {
@@ -76,12 +95,20 @@ func main() {
 		}
 		return os.Create(filepath.Join(*outDir, name))
 	}
-	emit := func(name string, fn func(io.Writer) error) {
+	write := report.WriteTSV
+	if *format == "json" {
+		write = report.WriteJSON
+	}
+	for _, id := range report.All() {
+		if !enabled(id) {
+			continue
+		}
+		name := report.Filename(id, *format)
 		w, err := open(name)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := fn(w); err != nil {
+		if err := write(w, g, id); err != nil {
 			log.Fatalf("%s: %v", name, err)
 		}
 		if err := w.Close(); err != nil {
@@ -91,157 +118,8 @@ func main() {
 			log.Printf("wrote %s", filepath.Join(*outDir, name))
 		}
 	}
-
-	if enabled("table1") {
-		emit("table1.tsv", func(w io.Writer) error { return writeTableI(w, res) })
-	}
-	if enabled("table2") {
-		emit("table2.tsv", func(w io.Writer) error { return writeTableII(w, res) })
-	}
-	if enabled("fig3") {
-		emit("fig3.tsv", func(w io.Writer) error { return writeFig3(w, res) })
-	}
-	if enabled("fig4") {
-		emit("fig4.tsv", func(w io.Writer) error { return writeFig4(w, res) })
-	}
-	if enabled("fig5") {
-		emit("fig5.tsv", func(w io.Writer) error { return writeFig5(w, res) })
-	}
-	if enabled("fig6") {
-		emit("fig6.tsv", func(w io.Writer) error { return writeFig6(w, res) })
-	}
-	if enabled("fig7") || enabled("fig8") {
-		emit("fig7_fig8.tsv", func(w io.Writer) error { return writeFig78(w, res) })
-	}
 }
 
 type nopCloser struct{ io.Writer }
 
 func (nopCloser) Close() error { return nil }
-
-func writeTableI(w io.Writer, res *core.Result) error {
-	if _, err := fmt.Fprintln(w, "gn_start\tgn_days\tgn_sources\tcaida_start\tcaida_duration\tcaida_packets\tcaida_sources"); err != nil {
-		return err
-	}
-	for _, r := range res.TableI() {
-		if _, err := fmt.Fprintf(w, "%s\t%d\t%d\t%s\t%s\t%d\t%d\n",
-			r.GNStart, r.GNDays, r.GNSources, r.CAIDAStart, r.CAIDADuration, r.CAIDAPackets, r.CAIDASources); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-func writeTableII(w io.Writer, res *core.Result) error {
-	if _, err := fmt.Fprintln(w, "snapshot\tquantity\tvalue"); err != nil {
-		return err
-	}
-	for i, q := range res.TableII() {
-		label := res.Study.Snapshots[i].Label
-		for _, row := range q.Rows() {
-			if _, err := fmt.Fprintf(w, "%s\t%s\t%s\n", label, row[0], row[1]); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
-}
-
-func writeFig3(w io.Writer, res *core.Result) error {
-	if _, err := fmt.Fprintln(w, "snapshot\td\tprob\tzm_alpha\tzm_delta"); err != nil {
-		return err
-	}
-	for _, s := range res.Fig3() {
-		probs := s.Binned.Prob()
-		for i, p := range probs {
-			if p == 0 {
-				continue
-			}
-			if _, err := fmt.Fprintf(w, "%s\t%g\t%.6g\t%.3f\t%.3f\n",
-				s.Label, s.Binned.Centers[i], p, s.Alpha, s.Delta); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
-}
-
-func writeFig4(w io.Writer, res *core.Result) error {
-	series, err := res.Fig4()
-	if err != nil {
-		return err
-	}
-	if _, err := fmt.Fprintln(w, "snapshot\td\tsources\tmatched\tfraction\tci_lo\tci_hi\tmodel_log2d_over_log2sqrtNV"); err != nil {
-		return err
-	}
-	for _, s := range series {
-		for i, p := range s.Points {
-			if _, err := fmt.Fprintf(w, "%s\t%g\t%d\t%d\t%.4f\t%.4f\t%.4f\t%.4f\n",
-				s.Label, p.D, p.Sources, p.Matched, p.Fraction, p.CILo, p.CIHi, s.Model[i]); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
-}
-
-func writeFig5(w io.Writer, res *core.Result) error {
-	series, fits, err := res.Fig5()
-	if err != nil {
-		return err
-	}
-	if _, err := fmt.Fprintf(w, "# snapshot %s, band 2^%d (%d sources)\n",
-		series.Snapshot, series.Band, series.Sources); err != nil {
-		return err
-	}
-	for name, fit := range fits {
-		if _, err := fmt.Fprintf(w, "# fit %s: model=%+v residual=%.4f\n", name, fit.Model, fit.Residual); err != nil {
-			return err
-		}
-	}
-	if _, err := fmt.Fprintln(w, "month\tdt\tfraction\tmod_cauchy\tcauchy\tgaussian"); err != nil {
-		return err
-	}
-	mc := fits["modified-cauchy"].Curve(series.Dt)
-	ca := fits["cauchy"].Curve(series.Dt)
-	ga := fits["gaussian"].Curve(series.Dt)
-	for i := range series.Dt {
-		if _, err := fmt.Fprintf(w, "%s\t%.2f\t%.4f\t%.4f\t%.4f\t%.4f\n",
-			series.Labels[i], series.Dt[i], series.Fraction[i], mc[i], ca[i], ga[i]); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-func writeFig6(w io.Writer, res *core.Result) error {
-	all, fits := res.Fig6()
-	if _, err := fmt.Fprintln(w, "snapshot\tband\tsources\tmonth\tdt\tfraction\tfit"); err != nil {
-		return err
-	}
-	for k, s := range all {
-		curve := fits[k].Curve(s.Dt)
-		for i := range s.Dt {
-			if _, err := fmt.Fprintf(w, "%s\t%d\t%d\t%s\t%.2f\t%.4f\t%.4f\n",
-				s.Snapshot, s.Band, s.Sources, s.Labels[i], s.Dt[i], s.Fraction[i], curve[i]); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
-}
-
-func writeFig78(w io.Writer, res *core.Result) error {
-	if _, err := fmt.Fprintln(w, "snapshot\td\tsources\talpha\tbeta\tone_month_drop\tresidual"); err != nil {
-		return err
-	}
-	for _, sweep := range res.Fig7And8() {
-		for _, f := range sweep {
-			if _, err := fmt.Fprintf(w, "%s\t%g\t%d\t%.3f\t%.3f\t%.3f\t%.4f\n",
-				f.Snapshot, f.D, f.Sources, f.Alpha, f.Beta, f.Drop, f.Residual); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
-}

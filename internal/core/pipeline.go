@@ -3,7 +3,8 @@
 // (constant-packet windows, anonymized hypersparse matrices) and a
 // honeyfarm outpost (monthly enriched D4M tables), followed by the
 // paper's correlation analysis. Each figure and table of the paper has a
-// dedicated emitter on Result.
+// dedicated emitter on Result — thin memoized wrappers over the
+// internal/report artifact graph.
 package core
 
 import (
@@ -18,6 +19,7 @@ import (
 	"repro/internal/honeyfarm"
 	"repro/internal/netquant"
 	"repro/internal/radiation"
+	"repro/internal/report"
 	"repro/internal/stats"
 	"repro/internal/telescope"
 	"repro/internal/tripled"
@@ -39,6 +41,14 @@ type Config struct {
 	// byte-identical artifacts — results are assembled by index, and
 	// every month and snapshot is deterministic in isolation.
 	StudyWorkers int
+
+	// ReportWorkers is the report-graph fan-out: how many of
+	// fig7_fig8's per-(snapshot, band) GridSearch2 fits run
+	// concurrently on the shared worker pool. 1 runs the historical
+	// strictly serial sweep retained as the correctness oracle; 0 uses
+	// GOMAXPROCS. Any value renders byte-identical artifacts
+	// (report.TestReportWorkerSweep).
+	ReportWorkers int
 
 	Sensors        int    // honeyfarm sensor count
 	AnonPassphrase string // CryptoPAN key derivation
@@ -197,6 +207,9 @@ type Result struct {
 
 	frozenOnce sync.Once
 	frozen     *correlate.Frozen
+
+	reportOnce sync.Once
+	report     *report.Graph
 }
 
 // Frozen returns the sorted-key compilation of the study's correlation
@@ -205,6 +218,37 @@ type Result struct {
 func (r *Result) Frozen() *correlate.Frozen {
 	r.frozenOnce.Do(func() { r.frozen = correlate.Freeze(r.Study) })
 	return r.frozen
+}
+
+// Report returns the study's artifact graph: every Table and Figure as
+// a memoized job with declared dependencies, plus the unified TSV/JSON
+// renderer (report.WriteTSV / report.WriteJSON). Built once on first
+// use; safe for concurrent use. The Table/Fig methods below are thin
+// wrappers over it.
+func (r *Result) Report() *report.Graph {
+	r.reportOnce.Do(func() { r.report = r.ReportWith(r.Config.ReportWorkers) })
+	return r.report
+}
+
+// ReportWith builds a fresh, unmemoized artifact graph over this
+// result with an explicit fit fan-out. Normal callers want Report();
+// this entry point exists for measurement (benchreport's fit_wall
+// phase) and worker-sweep determinism tests, where every call must
+// recompute.
+func (r *Result) ReportWith(workers int) *report.Graph {
+	return report.New(report.Input{
+		Study:   r.Study,
+		Windows: r.Windows,
+		Frozen:  r.Frozen,
+		Params: report.Params{
+			StudyStart:     r.Config.StudyStart,
+			NV:             r.Config.NV,
+			Fig5Band:       r.Config.Fig5Band(),
+			Fig6Bands:      r.Config.Fig6Bands(),
+			MinBandSources: r.Config.MinBandSources,
+			Workers:        workers,
+		},
+	})
 }
 
 // Run executes the full study with background context; see RunContext.
@@ -300,149 +344,52 @@ func (p *Pipeline) runSerial(ctx context.Context) (*Result, error) {
 }
 
 // TableIRow is one line of the paper's Table I dataset inventory.
-type TableIRow struct {
-	GNStart   string
-	GNDays    int
-	GNSources int
-	// CAIDA columns are empty except for snapshot months.
-	CAIDAStart    string
-	CAIDADuration string
-	CAIDAPackets  int
-	CAIDASources  int
-}
-
-// TableI reproduces the dataset inventory: one row per honeyfarm month,
-// with telescope columns filled on snapshot months.
-func (r *Result) TableI() []TableIRow {
-	rows := make([]TableIRow, len(r.Study.Months))
-	for i, m := range r.Study.Months {
-		start := r.Config.StudyStart.AddDate(0, m.Month, 0)
-		end := start.AddDate(0, 1, 0)
-		rows[i] = TableIRow{
-			GNStart:   start.Format("2006-01-02"),
-			GNDays:    int(end.Sub(start).Hours() / 24),
-			GNSources: m.Table.NRows(),
-		}
-	}
-	for si, snap := range r.Study.Snapshots {
-		mi := int(math.Floor(snap.Month))
-		if mi < 0 || mi >= len(rows) {
-			continue
-		}
-		w := r.Windows[si]
-		rows[mi].CAIDAStart = snap.Label
-		rows[mi].CAIDADuration = fmt.Sprintf("%.0f sec", w.Duration().Seconds())
-		rows[mi].CAIDAPackets = w.NV
-		rows[mi].CAIDASources = w.Matrix.NRows()
-	}
-	return rows
-}
-
-// TableII computes the network quantities of each snapshot's anonymized
-// matrix.
-func (r *Result) TableII() []netquant.Quantities {
-	out := make([]netquant.Quantities, len(r.Windows))
-	for i, w := range r.Windows {
-		out[i] = netquant.Compute(w.Matrix)
-	}
-	return out
-}
+type TableIRow = report.TableIRow
 
 // Fig3Series is one snapshot's degree distribution with its
 // Zipf-Mandelbrot fit.
-type Fig3Series struct {
-	Label    string
-	Binned   *stats.Binned
-	Alpha    float64 // fitted ZM exponent
-	Delta    float64 // fitted ZM offset
-	Residual float64
-}
-
-// Fig3 computes the source-packet degree distribution and ZM fit for
-// every snapshot (the paper's Figure 3).
-func (r *Result) Fig3() []Fig3Series {
-	out := make([]Fig3Series, len(r.Windows))
-	for i, w := range r.Windows {
-		b := netquant.SourcePacketDistribution(w.Matrix)
-		a, d, res := stats.FitZipfMandelbrot(b, float64(r.Config.NV))
-		out[i] = Fig3Series{
-			Label:  r.Study.Snapshots[i].Label,
-			Binned: b,
-			Alpha:  a, Delta: d, Residual: res,
-		}
-	}
-	return out
-}
+type Fig3Series = report.Fig3Series
 
 // Fig4Series is one snapshot's peak-correlation curve with the paper's
 // logarithmic model.
-type Fig4Series struct {
-	Label  string
-	Points []correlate.BandFraction
-	Model  []float64 // PeakModel evaluated at each point's band edge
-}
+type Fig4Series = report.Fig4Series
+
+// The artifact emitters below are thin wrappers over the report graph:
+// each computes through its memoized job on first use and returns the
+// shared value on every later call (treat the results as read-only).
+// The compute bodies — unchanged from when they lived here — are in
+// report/artifacts.go.
+
+// TableI reproduces the dataset inventory: one row per honeyfarm month,
+// with telescope columns filled on snapshot months.
+func (r *Result) TableI() []TableIRow { return r.Report().TableI() }
+
+// TableII computes the network quantities of each snapshot's anonymized
+// matrix.
+func (r *Result) TableII() []netquant.Quantities { return r.Report().TableII() }
+
+// Fig3 computes the source-packet degree distribution and ZM fit for
+// every snapshot (the paper's Figure 3).
+func (r *Result) Fig3() []Fig3Series { return r.Report().Fig3() }
 
 // Fig4 computes the same-month correlation by brightness for every
 // snapshot, on the frozen sorted-key kernel.
-func (r *Result) Fig4() ([]Fig4Series, error) {
-	f := r.Frozen()
-	out := make([]Fig4Series, 0, len(r.Study.Snapshots))
-	for si, snap := range r.Study.Snapshots {
-		mi, err := f.SameMonthIndex(si)
-		if err != nil {
-			return nil, err
-		}
-		pts := f.PeakCorrelation(si, mi)
-		model := make([]float64, len(pts))
-		for i, p := range pts {
-			model[i] = correlate.PeakModel(p.D, snap.NV)
-		}
-		out = append(out, Fig4Series{Label: snap.Label, Points: pts, Model: model})
-	}
-	return out, nil
-}
+func (r *Result) Fig4() ([]Fig4Series, error) { return r.Report().Fig4() }
 
 // Fig5 computes the temporal correlation of the first snapshot's
 // Fig5Band sources with all three model fits (the paper's Figure 5).
 func (r *Result) Fig5() (correlate.Series, map[string]stats.TemporalFit, error) {
-	if len(r.Study.Snapshots) == 0 {
-		return correlate.Series{}, nil, fmt.Errorf("core: no snapshots")
-	}
-	series, err := r.Frozen().Temporal(0, r.Config.Fig5Band())
-	if err != nil {
-		return correlate.Series{}, nil, err
-	}
-	return series, series.FitAll(), nil
+	return r.Report().Fig5()
 }
 
 // Fig6 computes the temporal correlation curves for every snapshot and
 // every Fig6 band, with modified-Cauchy fits. Bands a snapshot lacks are
 // skipped.
-func (r *Result) Fig6() ([]correlate.Series, []stats.TemporalFit) {
-	f := r.Frozen()
-	var all []correlate.Series
-	var fits []stats.TemporalFit
-	for si := range r.Study.Snapshots {
-		for _, band := range r.Config.Fig6Bands() {
-			s, err := f.Temporal(si, band)
-			if err != nil {
-				continue
-			}
-			all = append(all, s)
-			fits = append(fits, s.Fit())
-		}
-	}
-	return all, fits
-}
+func (r *Result) Fig6() ([]correlate.Series, []stats.TemporalFit) { return r.Report().Fig6() }
 
 // Fig7And8 computes the per-band modified-Cauchy parameter sweeps for
 // every snapshot: Alpha per band (Figure 7) and one-month drop 1/(β+1)
-// per band (Figure 8).
-func (r *Result) Fig7And8() [][]correlate.BandFit {
-	f := r.Frozen()
-	out := make([][]correlate.BandFit, len(r.Study.Snapshots))
-	for i := range r.Study.Snapshots {
-		out[i] = f.FitSweep(i, r.Config.MinBandSources)
-	}
-	return out
-}
+// per band (Figure 8). With Config.ReportWorkers != 1 the fits fan out
+// per (snapshot, band) on the shared worker pool, byte-identical to the
+// serial sweep.
+func (r *Result) Fig7And8() [][]correlate.BandFit { return r.Report().Fig7And8() }

@@ -3,7 +3,9 @@ package core
 // scheduler.go is the study-level parallel scheduler: with
 // Config.StudyWorkers != 1 the honeyfarm months and telescope snapshots
 // — mutually independent, deterministic units of work — fan out across
-// one pool of goroutines instead of running strictly one after another.
+// the shared worker pool (internal/pool, also ridden by the report
+// graph's per-band model fits) instead of running strictly one after
+// another.
 //
 // The design rests on three ownership rules:
 //
@@ -21,35 +23,26 @@ package core
 //   - Results land in index-addressed slots and are assembled in order,
 //     so the Result is byte-identical to the runSerial oracle — proven
 //     by TestParallelStudyMatchesSerialOracle across every emitter.
-//
-// Snapshot jobs are scheduled before month jobs: windows dominate the
-// wall clock, so starting them first keeps the pool saturated while the
-// cheaper month builds fill the gaps.
 
 import (
 	"context"
 	"fmt"
-	"sync"
 
 	"repro/internal/correlate"
 	"repro/internal/honeyfarm"
+	"repro/internal/pool"
 	"repro/internal/telescope"
 	"repro/internal/tripled"
 )
 
-// studyJob is one unit of study work: a honeyfarm month (snap < 0) or a
-// telescope snapshot (month < 0).
-type studyJob struct {
-	month int
-	snap  int
-}
-
 // runParallel executes the study with the given fan-out. workers is
-// always >= 2 here; RunContext routes 1 to runSerial.
+// always >= 2 here; RunContext routes 1 to runSerial. Job indices
+// 0..nSnaps-1 are the snapshots and the rest the months, so the pool's
+// in-order hand-out schedules snapshot jobs first: windows dominate
+// the wall clock, and starting them first keeps the pool saturated
+// while the cheaper month builds fill the gaps.
 func (p *Pipeline) runParallel(ctx context.Context, workers int) (*Result, error) {
 	res := &Result{Config: p.cfg, Farm: p.farm}
-	ctx, cancel := context.WithCancel(ctx)
-	defer cancel()
 
 	nMonths := p.cfg.Radiation.Months
 	nSnaps := len(p.cfg.SnapshotTimes)
@@ -58,60 +51,20 @@ func (p *Pipeline) runParallel(ctx context.Context, workers int) (*Result, error
 	windows := make([]*telescope.Window, nSnaps)
 	snapData := make([]correlate.Snapshot, nSnaps)
 
-	jobs := make(chan studyJob, nMonths+nSnaps)
-	for s := 0; s < nSnaps; s++ {
-		jobs <- studyJob{month: -1, snap: s}
-	}
-	for m := 0; m < nMonths; m++ {
-		jobs <- studyJob{month: m, snap: -1}
-	}
-	close(jobs)
-
-	var (
-		mu       sync.Mutex
-		firstErr error
-	)
-	fail := func(err error) {
-		mu.Lock()
-		if firstErr == nil {
-			firstErr = err
-			cancel()
-		}
-		mu.Unlock()
-	}
-
-	if workers > nMonths+nSnaps {
-		workers = nMonths + nSnaps
-	}
-	var wg sync.WaitGroup
-	for i := 0; i < workers; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			w := &studyWorker{p: p}
-			defer w.close()
-			for job := range jobs {
-				if ctx.Err() != nil {
-					continue // abandoned: drain the queue without working
-				}
-				var err error
-				if job.month >= 0 {
-					monthData[job.month], built[job.month], err = w.runMonth(job.month)
-				} else {
-					windows[job.snap], snapData[job.snap], err = w.runSnapshot(ctx, job.snap)
-				}
-				if err != nil {
-					fail(err)
-				}
+	err := pool.EachWorker(ctx, workers, nSnaps+nMonths,
+		func() *studyWorker { return &studyWorker{p: p} },
+		(*studyWorker).close,
+		func(ctx context.Context, w *studyWorker, job int) error {
+			var err error
+			if job < nSnaps {
+				windows[job], snapData[job], err = w.runSnapshot(ctx, job)
+			} else {
+				m := job - nSnaps
+				monthData[m], built[m], err = w.runMonth(m)
 			}
-		}()
-	}
-	wg.Wait()
-
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	if err := ctx.Err(); err != nil {
+			return err
+		})
+	if err != nil {
 		return nil, err
 	}
 

@@ -261,6 +261,47 @@ func (f *Frozen) FitSweep(si, minSources int) []BandFit {
 	return out
 }
 
+// SweepBands returns the bands of snapshot si holding at least
+// minSources sources, in ascending band order — FitSweep's job list,
+// exposed so callers (the report graph) can fan one FitBand job per
+// (snapshot, band) across a worker pool and assemble the sweep in this
+// deterministic order.
+func (f *Frozen) SweepBands(si, minSources int) []int {
+	snap := &f.snaps[si]
+	out := make([]int, 0, len(snap.bands))
+	for i := range snap.bands {
+		if len(snap.bands[i].ids) >= minSources {
+			out = append(out, snap.bands[i].band)
+		}
+	}
+	return out
+}
+
+// FitBand computes the modified-Cauchy fit for one (snapshot, band)
+// pair — exactly one iteration of FitSweep's loop, with a private
+// scratch series so any number of FitBand calls may run concurrently.
+// It returns ok=false when the band holds no sources (the case
+// FitSweep skips). TestFitBandMatchesSweep pins the equivalence.
+func (f *Frozen) FitBand(si, band int) (BandFit, bool) {
+	snap := &f.snaps[si]
+	var s Series
+	if err := f.TemporalInto(&s, si, band); err != nil {
+		return BandFit{}, false
+	}
+	fit := s.Fit()
+	mc := fit.Model.(stats.ModifiedCauchy)
+	return BandFit{
+		Snapshot: snap.label,
+		Band:     band,
+		D:        stats.BandLow(band),
+		Sources:  s.Sources,
+		Alpha:    mc.Alpha,
+		Beta:     mc.Beta,
+		Drop:     mc.OneMonthDrop(),
+		Residual: fit.Residual,
+	}, true
+}
+
 func growStrings(s []string, n int) []string {
 	if cap(s) < n {
 		return make([]string, n)

@@ -78,6 +78,36 @@ func TestFrozenMatchesReference(t *testing.T) {
 	}
 }
 
+// TestFitBandMatchesSweep pins the decomposition the report graph's
+// parallel fit fan-out relies on: SweepBands lists exactly the bands
+// FitSweep fits, and FitBand reproduces each FitSweep entry
+// bit-for-bit — so jobs assembled in SweepBands order are
+// byte-identical to the serial sweep at any worker count.
+func TestFitBandMatchesSweep(t *testing.T) {
+	study := frozenFixture()
+	f := Freeze(study)
+	for si := range study.Snapshots {
+		for _, min := range []int{1, 10, 50} {
+			want := f.FitSweep(si, min)
+			bands := f.SweepBands(si, min)
+			got := make([]BandFit, 0, len(bands))
+			for _, b := range bands {
+				fit, ok := f.FitBand(si, b)
+				if !ok {
+					t.Fatalf("snapshot %d band %d: FitBand not ok for a SweepBands entry", si, b)
+				}
+				got = append(got, fit)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("snapshot %d min=%d: FitBand assembly differs:\njobs  %+v\nsweep %+v", si, min, got, want)
+			}
+		}
+	}
+	if _, ok := f.FitBand(0, 30); ok {
+		t.Error("FitBand ok on an empty band")
+	}
+}
+
 func TestFrozenSameMonthMissing(t *testing.T) {
 	study := frozenFixture()
 	study.Snapshots[0].Month = 99

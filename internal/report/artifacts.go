@@ -1,0 +1,258 @@
+package report
+
+// artifacts.go holds the per-artifact compute jobs and their typed
+// accessors. The compute bodies are the former core.Result methods,
+// moved here verbatim (core aliases the row types, so call sites are
+// unchanged); fig7_fig8 is the one artifact whose parallel path
+// diverges from the historical loop — it fans the per-(snapshot, band)
+// GridSearch2 fits across the shared worker pool, with the serial
+// sweep retained verbatim at Workers == 1 as the oracle.
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/correlate"
+	"repro/internal/netquant"
+	"repro/internal/pool"
+	"repro/internal/stats"
+)
+
+// TableIRow is one line of the paper's Table I dataset inventory.
+type TableIRow struct {
+	GNStart   string
+	GNDays    int
+	GNSources int
+	// CAIDA columns are empty except for snapshot months.
+	CAIDAStart    string
+	CAIDADuration string
+	CAIDAPackets  int
+	CAIDASources  int
+}
+
+// Fig3Series is one snapshot's degree distribution with its
+// Zipf-Mandelbrot fit.
+type Fig3Series struct {
+	Label    string
+	Binned   *stats.Binned
+	Alpha    float64 // fitted ZM exponent
+	Delta    float64 // fitted ZM offset
+	Residual float64
+}
+
+// Fig4Series is one snapshot's peak-correlation curve with the paper's
+// logarithmic model.
+type Fig4Series struct {
+	Label  string
+	Points []correlate.BandFraction
+	Model  []float64 // PeakModel evaluated at each point's band edge
+}
+
+// fig5Data bundles Figure 5's series with its three model fits — one
+// graph node, since both halves come from the same Temporal call.
+type fig5Data struct {
+	Series correlate.Series
+	Fits   map[string]stats.TemporalFit
+}
+
+// fig6Data bundles Figure 6's curves with their index-aligned fits.
+type fig6Data struct {
+	Series []correlate.Series
+	Fits   []stats.TemporalFit
+}
+
+// TableI reproduces the dataset inventory: one row per honeyfarm month,
+// with telescope columns filled on snapshot months.
+func (g *Graph) TableI() []TableIRow {
+	v, _ := g.get(Table1) // cannot fail
+	return v.([]TableIRow)
+}
+
+func runTableI(g *Graph) (any, error) {
+	rows := make([]TableIRow, len(g.in.Study.Months))
+	for i, m := range g.in.Study.Months {
+		start := g.in.Params.StudyStart.AddDate(0, m.Month, 0)
+		end := start.AddDate(0, 1, 0)
+		rows[i] = TableIRow{
+			GNStart:   start.Format("2006-01-02"),
+			GNDays:    int(end.Sub(start).Hours() / 24),
+			GNSources: m.Table.NRows(),
+		}
+	}
+	for si, snap := range g.in.Study.Snapshots {
+		mi := int(math.Floor(snap.Month))
+		if mi < 0 || mi >= len(rows) {
+			continue
+		}
+		w := g.in.Windows[si]
+		rows[mi].CAIDAStart = snap.Label
+		rows[mi].CAIDADuration = fmt.Sprintf("%.0f sec", w.Duration().Seconds())
+		rows[mi].CAIDAPackets = w.NV
+		rows[mi].CAIDASources = w.Matrix.NRows()
+	}
+	return rows, nil
+}
+
+// TableII computes the network quantities of each snapshot's anonymized
+// matrix.
+func (g *Graph) TableII() []netquant.Quantities {
+	v, _ := g.get(Table2) // cannot fail
+	return v.([]netquant.Quantities)
+}
+
+func runTableII(g *Graph) (any, error) {
+	out := make([]netquant.Quantities, len(g.in.Windows))
+	for i, w := range g.in.Windows {
+		out[i] = netquant.Compute(w.Matrix)
+	}
+	return out, nil
+}
+
+// Fig3 computes the source-packet degree distribution and ZM fit for
+// every snapshot (the paper's Figure 3).
+func (g *Graph) Fig3() []Fig3Series {
+	v, _ := g.get(Fig3) // cannot fail
+	return v.([]Fig3Series)
+}
+
+func runFig3(g *Graph) (any, error) {
+	out := make([]Fig3Series, len(g.in.Windows))
+	for i, w := range g.in.Windows {
+		b := netquant.SourcePacketDistribution(w.Matrix)
+		a, d, res := stats.FitZipfMandelbrot(b, float64(g.in.Params.NV))
+		out[i] = Fig3Series{
+			Label:  g.in.Study.Snapshots[i].Label,
+			Binned: b,
+			Alpha:  a, Delta: d, Residual: res,
+		}
+	}
+	return out, nil
+}
+
+// Fig4 computes the same-month correlation by brightness for every
+// snapshot, on the frozen sorted-key kernel.
+func (g *Graph) Fig4() ([]Fig4Series, error) {
+	v, err := g.get(Fig4)
+	if err != nil {
+		return nil, err
+	}
+	return v.([]Fig4Series), nil
+}
+
+func runFig4(g *Graph) (any, error) {
+	f := g.frozen()
+	out := make([]Fig4Series, 0, len(g.in.Study.Snapshots))
+	for si, snap := range g.in.Study.Snapshots {
+		mi, err := f.SameMonthIndex(si)
+		if err != nil {
+			return nil, err
+		}
+		pts := f.PeakCorrelation(si, mi)
+		model := make([]float64, len(pts))
+		for i, p := range pts {
+			model[i] = correlate.PeakModel(p.D, snap.NV)
+		}
+		out = append(out, Fig4Series{Label: snap.Label, Points: pts, Model: model})
+	}
+	return out, nil
+}
+
+// Fig5 computes the temporal correlation of the first snapshot's
+// Fig5Band sources with all three model fits (the paper's Figure 5).
+func (g *Graph) Fig5() (correlate.Series, map[string]stats.TemporalFit, error) {
+	v, err := g.get(Fig5)
+	if err != nil {
+		return correlate.Series{}, nil, err
+	}
+	d := v.(fig5Data)
+	return d.Series, d.Fits, nil
+}
+
+func runFig5(g *Graph) (any, error) {
+	if len(g.in.Study.Snapshots) == 0 {
+		return nil, fmt.Errorf("report: no snapshots")
+	}
+	series, err := g.frozen().Temporal(0, g.in.Params.Fig5Band)
+	if err != nil {
+		return nil, err
+	}
+	return fig5Data{Series: series, Fits: series.FitAll()}, nil
+}
+
+// Fig6 computes the temporal correlation curves for every snapshot and
+// every Fig6 band, with modified-Cauchy fits. Bands a snapshot lacks are
+// skipped.
+func (g *Graph) Fig6() ([]correlate.Series, []stats.TemporalFit) {
+	v, _ := g.get(Fig6) // cannot fail
+	d := v.(fig6Data)
+	return d.Series, d.Fits
+}
+
+func runFig6(g *Graph) (any, error) {
+	f := g.frozen()
+	var d fig6Data
+	for si := range g.in.Study.Snapshots {
+		for _, band := range g.in.Params.Fig6Bands {
+			s, err := f.Temporal(si, band)
+			if err != nil {
+				continue
+			}
+			d.Series = append(d.Series, s)
+			d.Fits = append(d.Fits, s.Fit())
+		}
+	}
+	return d, nil
+}
+
+// Fig7And8 computes the per-band modified-Cauchy parameter sweeps for
+// every snapshot: Alpha per band (Figure 7) and one-month drop 1/(β+1)
+// per band (Figure 8). With Workers > 1 the (snapshot, band)
+// GridSearch2 fits — the dominant post-capture cost — run concurrently
+// on the shared worker pool; results assemble in SweepBands order, so
+// the output is byte-identical to the Workers == 1 serial oracle.
+func (g *Graph) Fig7And8() [][]correlate.BandFit {
+	v, _ := g.get(Fig7Fig8) // cannot fail
+	return v.([][]correlate.BandFit)
+}
+
+func runFig7And8(g *Graph) (any, error) {
+	f := g.frozen()
+	nSnaps := len(g.in.Study.Snapshots)
+	minSources := g.in.Params.MinBandSources
+	out := make([][]correlate.BandFit, nSnaps)
+
+	if g.workers() == 1 {
+		// The historical serial compute, kept verbatim as the oracle.
+		for i := 0; i < nSnaps; i++ {
+			out[i] = f.FitSweep(i, minSources)
+		}
+		return out, nil
+	}
+
+	// One job per (snapshot, band), enumerated in the same (snapshot,
+	// ascending band) order the serial sweep fits them.
+	type fitJob struct{ si, band int }
+	var jobs []fitJob
+	for si := 0; si < nSnaps; si++ {
+		for _, band := range f.SweepBands(si, minSources) {
+			jobs = append(jobs, fitJob{si: si, band: band})
+		}
+	}
+	fits := make([]correlate.BandFit, len(jobs))
+	oks := make([]bool, len(jobs))
+	_ = pool.Each(context.Background(), g.workers(), len(jobs), func(_ context.Context, j int) error {
+		fits[j], oks[j] = f.FitBand(jobs[j].si, jobs[j].band)
+		return nil
+	})
+	for i := 0; i < nSnaps; i++ {
+		// Pre-size like FitSweep: capacity for every fitted band.
+		out[i] = make([]correlate.BandFit, 0, len(f.SweepBands(i, minSources)))
+	}
+	for j := range jobs {
+		if oks[j] {
+			out[jobs[j].si] = append(out[jobs[j].si], fits[j])
+		}
+	}
+	return out, nil
+}

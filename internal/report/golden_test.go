@@ -1,0 +1,47 @@
+package report_test
+
+// golden_test.go pins the seven paper artifacts byte for byte: the
+// committed quick-config TSV renders in testdata/ are the renderer's
+// contract, so neither a graph refactor, a fit parallelization, nor a
+// formatting tweak can silently drift the paper's outputs. Regenerate
+// deliberately with
+//
+//	go test ./internal/report -run TestGoldenArtifacts -update
+//
+// and review the diff like any other code change.
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/report"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden artifact files in testdata/")
+
+func TestGoldenArtifacts(t *testing.T) {
+	res := quickResult(t)
+	g := res.Report()
+	for _, id := range report.All() {
+		t.Run(string(id), func(t *testing.T) {
+			got := renderTSV(t, g, id)
+			path := filepath.Join("testdata", report.Filename(id, "tsv"))
+			if *update {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("%s drifted from golden %s\ngot:\n%s\nwant:\n%s",
+					id, path, got, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,172 @@
+// Package report is the unified artifact subsystem: the paper's seven
+// deliverables — Table I, Table II, and Figures 3 through 8 — computed
+// once each through a typed dependency graph and rendered by one
+// TSV/JSON writer shared by every CLI.
+//
+// The graph replaces the ad-hoc lazy methods that used to live on
+// core.Result (which remain as thin memoized wrappers over it, so no
+// call site changed): each artifact is a job with declared
+// dependencies, memoized on first use and safe for concurrent use.
+// Every temporal artifact depends on the study's frozen sorted-key
+// compilation; fig7_fig8 additionally fans out one Frozen.FitBand
+// (GridSearch2) job per (snapshot, band) onto the same worker pool the
+// study scheduler rides, assembling the sweep in deterministic
+// SweepBands order. Params.Workers == 1 keeps the historical serial
+// compute verbatim as the correctness oracle; any worker count renders
+// byte-identically (TestReportWorkerSweep, under -race).
+//
+// Rendering goes through one lowering: every artifact becomes a Table
+// (comment preamble, columns, formatted rows), and WriteTSV/WriteJSON
+// both consume that Table — so the two encodings cannot drift, and the
+// committed golden files in testdata/ pin the TSV bytes.
+package report
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/correlate"
+	"repro/internal/telescope"
+)
+
+// ArtifactID names one of the paper's deliverables. Figures 7 and 8
+// share one artifact (both are renderings of the same per-band fit
+// sweep), mirroring the historical fig7_fig8.tsv output.
+type ArtifactID string
+
+const (
+	Table1   ArtifactID = "table1"
+	Table2   ArtifactID = "table2"
+	Fig3     ArtifactID = "fig3"
+	Fig4     ArtifactID = "fig4"
+	Fig5     ArtifactID = "fig5"
+	Fig6     ArtifactID = "fig6"
+	Fig7Fig8 ArtifactID = "fig7_fig8"
+
+	// artFrozen is the internal node every temporal artifact depends
+	// on: the study's sorted-key compilation (correlate.Freeze).
+	artFrozen ArtifactID = "frozen"
+)
+
+// All returns the seven renderable artifacts in canonical paper order.
+func All() []ArtifactID {
+	return []ArtifactID{Table1, Table2, Fig3, Fig4, Fig5, Fig6, Fig7Fig8}
+}
+
+// Filename is the conventional output name for an artifact in the
+// given format ("tsv" or "json"), e.g. "fig7_fig8.tsv".
+func Filename(id ArtifactID, format string) string {
+	return string(id) + "." + format
+}
+
+// Params are the study parameters the artifacts embed, decoupled from
+// core.Config so core can depend on this package without a cycle.
+type Params struct {
+	StudyStart     time.Time // first honeyfarm month
+	NV             int       // telescope window size in valid packets
+	Fig5Band       int       // the band Figure 5 plots
+	Fig6Bands      []int     // the bands Figure 6 sweeps
+	MinBandSources int       // bands below this population are skipped in fits
+
+	// Workers is the fit fan-out for fig7_fig8: how many
+	// (snapshot, band) GridSearch2 jobs run concurrently. 1 runs the
+	// historical strictly serial per-snapshot FitSweep, retained as the
+	// correctness oracle; 0 uses GOMAXPROCS. Every value produces
+	// byte-identical artifacts.
+	Workers int
+}
+
+// Input is everything the artifact graph reads: the correlation
+// tables, the captured windows, and the study parameters. The graph
+// never mutates it.
+type Input struct {
+	Study   correlate.Study
+	Windows []*telescope.Window // one per snapshot, index-aligned with Study.Snapshots
+
+	// Frozen optionally supplies an existing memoized sorted-key
+	// compilation (core.Result.Frozen); when nil the graph freezes the
+	// study itself on first temporal-artifact use.
+	Frozen func() *correlate.Frozen
+
+	Params Params
+}
+
+// node is one artifact job: declared dependencies, a compute function,
+// and a memoized (value, error) pair.
+type node struct {
+	deps []ArtifactID
+	run  func(g *Graph) (any, error)
+
+	once sync.Once
+	val  any
+	err  error
+}
+
+// Graph is the memoized artifact registry for one study. Build it with
+// New; all methods are safe for concurrent use, and every artifact is
+// computed at most once for the graph's lifetime. Returned values are
+// shared between callers and must be treated as read-only.
+type Graph struct {
+	in    Input
+	nodes map[ArtifactID]*node
+}
+
+// New builds the artifact graph over one study's results.
+func New(in Input) *Graph {
+	g := &Graph{in: in}
+	g.nodes = map[ArtifactID]*node{
+		artFrozen: {run: runFrozen},
+		Table1:    {run: runTableI},
+		Table2:    {run: runTableII},
+		Fig3:      {run: runFig3},
+		Fig4:      {deps: []ArtifactID{artFrozen}, run: runFig4},
+		Fig5:      {deps: []ArtifactID{artFrozen}, run: runFig5},
+		Fig6:      {deps: []ArtifactID{artFrozen}, run: runFig6},
+		Fig7Fig8:  {deps: []ArtifactID{artFrozen}, run: runFig7And8},
+	}
+	return g
+}
+
+// get resolves an artifact: dependencies first, then the node's own
+// compute, all memoized. A dependency failure is the node's failure.
+func (g *Graph) get(id ArtifactID) (any, error) {
+	n, ok := g.nodes[id]
+	if !ok {
+		return nil, fmt.Errorf("report: unknown artifact %q", id)
+	}
+	n.once.Do(func() {
+		for _, dep := range n.deps {
+			if _, err := g.get(dep); err != nil {
+				n.err = err
+				return
+			}
+		}
+		n.val, n.err = n.run(g)
+	})
+	return n.val, n.err
+}
+
+// workers resolves Params.Workers the way the study scheduler resolves
+// StudyWorkers: 0 or negative means GOMAXPROCS.
+func (g *Graph) workers() int {
+	if w := g.in.Params.Workers; w > 0 {
+		return w
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// frozen returns the study's sorted-key compilation through the graph,
+// so every temporal artifact shares one Freeze.
+func (g *Graph) frozen() *correlate.Frozen {
+	v, _ := g.get(artFrozen) // cannot fail
+	return v.(*correlate.Frozen)
+}
+
+func runFrozen(g *Graph) (any, error) {
+	if g.in.Frozen != nil {
+		return g.in.Frozen(), nil
+	}
+	return correlate.Freeze(g.in.Study), nil
+}

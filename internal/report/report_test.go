@@ -1,0 +1,191 @@
+package report_test
+
+// report_test.go holds the graph's contracts: memoized single compute,
+// worker-count invariance of the pool-scheduled fits (the serial-
+// oracle guarantee, exercised under -race in CI), and JSON/TSV value
+// parity through the single Table lowering.
+//
+// Tests live in an external package and build their graphs through
+// core.Result — the same construction every CLI uses — off one shared
+// quick-config study (the golden fixture).
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+// quickResult runs the golden QuickConfig study once for the whole
+// test package.
+var (
+	quickOnce sync.Once
+	quickRes  *core.Result
+	quickErr  error
+)
+
+func quickResult(t *testing.T) *core.Result {
+	t.Helper()
+	quickOnce.Do(func() {
+		p, err := core.New(core.QuickConfig())
+		if err != nil {
+			quickErr = err
+			return
+		}
+		quickRes, quickErr = p.Run()
+	})
+	if quickErr != nil {
+		t.Fatal(quickErr)
+	}
+	return quickRes
+}
+
+func renderTSV(t *testing.T, g *report.Graph, id report.ArtifactID) string {
+	t.Helper()
+	var b strings.Builder
+	if err := report.WriteTSV(&b, g, id); err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	return b.String()
+}
+
+// TestGraphMemoizes pins the ownership rule the Result wrappers rely
+// on: one graph computes each artifact exactly once and hands every
+// caller the same value.
+func TestGraphMemoizes(t *testing.T) {
+	res := quickResult(t)
+	g := res.Report()
+	a := g.Fig7And8()
+	b := g.Fig7And8()
+	if &a[0] != &b[0] {
+		t.Error("Fig7And8 recomputed: calls returned distinct slices")
+	}
+	t1a, t1b := g.TableI(), g.TableI()
+	if &t1a[0] != &t1b[0] {
+		t.Error("TableI recomputed: calls returned distinct slices")
+	}
+	// The Result wrappers go through the same memoized graph.
+	if r := res.Fig7And8(); &r[0] != &a[0] {
+		t.Error("Result.Fig7And8 bypassed the report graph")
+	}
+}
+
+// TestGraphConcurrentAccess hammers one graph from many goroutines;
+// under -race this is the memoization's soundness proof.
+func TestGraphConcurrentAccess(t *testing.T) {
+	g := quickResult(t).ReportWith(4)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, id := range report.All() {
+				var b strings.Builder
+				if err := report.WriteTSV(&b, g, id); err != nil {
+					t.Errorf("%s: %v", id, err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestReportWorkerSweep is the fit-determinism gate: Fig7And8 (and
+// with it every artifact) renders byte-identical at ReportWorkers 1,
+// 2, and 8 — the serial verbatim oracle vs the pool-scheduled
+// per-(snapshot, band) fan-out, including more workers than jobs per
+// snapshot. CI runs this under -race.
+func TestReportWorkerSweep(t *testing.T) {
+	res := quickResult(t)
+	oracle := renderTSV(t, res.ReportWith(1), report.Fig7Fig8)
+	if strings.Count(oracle, "\n") < 10 {
+		t.Fatalf("oracle sweep suspiciously small:\n%s", oracle)
+	}
+	for _, workers := range []int{2, 8} {
+		got := renderTSV(t, res.ReportWith(workers), report.Fig7Fig8)
+		if got != oracle {
+			t.Errorf("ReportWorkers=%d fig7_fig8 diverges from serial oracle:\ngot:\n%s\nwant:\n%s",
+				workers, got, oracle)
+		}
+	}
+	// The remaining artifacts have no parallel path, but pin them too:
+	// the whole render must be worker-count invariant.
+	for _, id := range report.All() {
+		a := renderTSV(t, res.ReportWith(1), id)
+		b := renderTSV(t, res.ReportWith(8), id)
+		if a != b {
+			t.Errorf("%s differs between ReportWorkers=1 and 8", id)
+		}
+	}
+}
+
+// TestJSONMatchesTSV decodes every artifact's JSON document and checks
+// it holds exactly the TSV's values: same comments, columns, and
+// cells, with numeric cells surviving as JSON numbers whose literals
+// equal the TSV text.
+func TestJSONMatchesTSV(t *testing.T) {
+	g := quickResult(t).Report()
+	for _, id := range report.All() {
+		tsv := renderTSV(t, g, id)
+
+		var b strings.Builder
+		if err := report.WriteJSON(&b, g, id); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		var doc struct {
+			Artifact string   `json:"artifact"`
+			Comments []string `json:"comments"`
+			Columns  []string `json:"columns"`
+			Rows     [][]any  `json:"rows"` // json.Number or string, per cell
+		}
+		dec := json.NewDecoder(strings.NewReader(b.String()))
+		dec.UseNumber()
+		if err := dec.Decode(&doc); err != nil {
+			t.Fatalf("%s: decode JSON: %v", id, err)
+		}
+		if doc.Artifact != string(id) {
+			t.Errorf("%s: artifact field = %q", id, doc.Artifact)
+		}
+
+		// Reassemble the TSV from the decoded JSON: equality proves the
+		// two encodings carry the same values (json.Number preserves
+		// the literal, strings round-trip exactly).
+		var re strings.Builder
+		for _, c := range doc.Comments {
+			fmt.Fprintf(&re, "# %s\n", c)
+		}
+		re.WriteString(strings.Join(doc.Columns, "\t") + "\n")
+		for _, row := range doc.Rows {
+			cells := make([]string, len(row))
+			for j, cell := range row {
+				switch v := cell.(type) {
+				case json.Number:
+					cells[j] = v.String()
+				case string:
+					cells[j] = v
+				default:
+					t.Fatalf("%s: cell %T, want json.Number or string", id, cell)
+				}
+			}
+			re.WriteString(strings.Join(cells, "\t") + "\n")
+		}
+		if re.String() != tsv {
+			t.Errorf("%s: JSON values diverge from TSV:\nfrom JSON:\n%s\nTSV:\n%s", id, re.String(), tsv)
+		}
+	}
+}
+
+// TestUnknownArtifact covers the renderer's error path.
+func TestUnknownArtifact(t *testing.T) {
+	g := quickResult(t).Report()
+	if err := report.WriteTSV(&strings.Builder{}, g, "fig9"); err == nil {
+		t.Error("unknown artifact rendered without error")
+	}
+	if err := report.WriteJSON(&strings.Builder{}, g, "fig9"); err == nil {
+		t.Error("unknown artifact rendered without error")
+	}
+}

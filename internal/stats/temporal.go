@@ -86,12 +86,26 @@ func peakOf(values []float64) float64 {
 	return p
 }
 
-func residualFor(dts, values []float64, peak float64, m TemporalModel) float64 {
-	model := make([]float64, len(dts))
-	for i, dt := range dts {
-		model[i] = peak * m.Eval(dt)
+// residualPNorm is PNorm(Residuals(values, peak·model), p) fused into
+// one pass — the inner loop of every grid search in this file, called
+// thousands of times per fit, so it materializes no intermediate
+// slices. Generic over the model so concrete shapes stay unboxed. The
+// operations run in the exact order of the composed form (model, then
+// residual, then Pow-accumulate, then the final Pow), so fitted
+// parameters are bit-identical to the historical slice-based path.
+func residualPNorm[M TemporalModel](dts, values []float64, peak float64, m M, p float64) float64 {
+	if p <= 0 {
+		panic("stats: PNorm requires p > 0")
 	}
-	return HalfNorm(Residuals(values, model))
+	var s float64
+	for i, dt := range dts {
+		s += math.Pow(math.Abs(values[i]-peak*m.Eval(dt)), p)
+	}
+	return math.Pow(s, 1/p)
+}
+
+func residualFor[M TemporalModel](dts, values []float64, peak float64, m M) float64 {
+	return residualPNorm(dts, values, peak, m, 0.5)
 }
 
 // FitModifiedCauchy fits α and β by grid search, normalizing the model to
@@ -107,12 +121,7 @@ func FitModifiedCauchy(dts, values []float64) TemporalFit {
 func FitModifiedCauchyNorm(dts, values []float64, p float64) TemporalFit {
 	peak := peakOf(values)
 	loss := func(a, b float64) float64 {
-		model := make([]float64, len(dts))
-		mc := ModifiedCauchy{Alpha: a, Beta: b}
-		for i, dt := range dts {
-			model[i] = peak * mc.Eval(dt)
-		}
-		return PNorm(Residuals(values, model), p)
+		return residualPNorm(dts, values, peak, ModifiedCauchy{Alpha: a, Beta: b}, p)
 	}
 	a, b, r := GridSearch2(
 		Range{Lo: 0.05, Hi: 2.0},
