@@ -1,0 +1,225 @@
+// Command scenarios executes the YAML scenario suite: every file under
+// -dir runs the full pipeline and checks its expected-result
+// assertions, in parallel, with a pass/fail summary rendered through
+// the unified report renderer (-format tsv or json).
+//
+// Usage:
+//
+//	scenarios [-dir scenarios] [-run REGEXP] [-workers N]
+//	          [-format tsv|json] [-v]
+//	scenarios -list [-dir scenarios]
+//	scenarios -audit [-dir scenarios] [-cases docs/e2e-cases.md]
+//
+// Every failure — a failed assertion, a file that will not parse, a
+// schema violation, a cancelled run, an audit drift — also emits one
+// machine-readable JSON record per problem on stderr, and the exit
+// code states the failure class:
+//
+//	0  every scenario passed (or -list / clean -audit)
+//	1  at least one assertion did not hold
+//	2  malformed YAML (parse error)
+//	3  well-formed YAML violating the scenario schema
+//	4  run cancelled (signal / context)
+//	5  pipeline runtime error
+//	6  -audit found documentation drift
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"regexp"
+	"syscall"
+	"time"
+
+	"repro/internal/report"
+	"repro/internal/scenario"
+)
+
+// Exit codes, one per failure class.
+const (
+	exitOK      = 0
+	exitAssert  = 1
+	exitParse   = 2
+	exitSchema  = 3
+	exitCancel  = 4
+	exitRuntime = 5
+	exitAudit   = 6
+)
+
+// failRecord is the machine-readable failure line emitted on stderr.
+type failRecord struct {
+	Kind      string `json:"kind"` // assertion, parse, schema, cancelled, runtime, audit
+	Scenario  string `json:"scenario,omitempty"`
+	File      string `json:"file,omitempty"`
+	Assertion string `json:"assertion,omitempty"`
+	Detail    string `json:"detail,omitempty"`
+}
+
+func emitFail(rec failRecord) {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		log.Fatalf("scenarios: encoding failure record: %v", err)
+	}
+	fmt.Fprintln(os.Stderr, string(b))
+}
+
+// loadExit classifies a LoadDir/Load error into its exit code and
+// emits the matching record.
+func loadExit(err error) int {
+	switch {
+	case errors.Is(err, scenario.ErrParse):
+		emitFail(failRecord{Kind: "parse", Detail: err.Error()})
+		return exitParse
+	case errors.Is(err, scenario.ErrSchema):
+		emitFail(failRecord{Kind: "schema", Detail: err.Error()})
+		return exitSchema
+	default:
+		emitFail(failRecord{Kind: "runtime", Detail: err.Error()})
+		return exitRuntime
+	}
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		dir     = flag.String("dir", "scenarios", "scenario directory (*.yaml)")
+		runExpr = flag.String("run", "", "only scenarios whose name matches this regexp")
+		list    = flag.Bool("list", false, "list scenarios and exit without running")
+		audit   = flag.Bool("audit", false, "cross-check -cases against the scenario files and exit")
+		cases   = flag.String("cases", "docs/e2e-cases.md", "e2e cases document for -audit")
+		workers = flag.Int("workers", 0, "parallel scenarios (0 = GOMAXPROCS)")
+		format  = flag.String("format", "tsv", "summary encoding: tsv or json")
+		verbose = flag.Bool("v", false, "print every check, not just failures")
+	)
+	flag.Parse()
+	if *format != "tsv" && *format != "json" {
+		log.Fatalf("scenarios: -format must be tsv or json, got %q", *format)
+	}
+
+	scs, err := scenario.LoadDir(*dir)
+	if err != nil {
+		return loadExit(err)
+	}
+	if *runExpr != "" {
+		re, err := regexp.Compile(*runExpr)
+		if err != nil {
+			log.Fatalf("scenarios: -run: %v", err)
+		}
+		kept := scs[:0]
+		for _, sc := range scs {
+			if re.MatchString(sc.Name) {
+				kept = append(kept, sc)
+			}
+		}
+		scs = kept
+		if len(scs) == 0 {
+			log.Fatalf("scenarios: -run %q matches nothing", *runExpr)
+		}
+	}
+
+	if *audit {
+		findings, err := scenario.Audit(*cases, scs)
+		if err != nil {
+			emitFail(failRecord{Kind: "audit", Detail: err.Error()})
+			return exitAudit
+		}
+		for _, f := range findings {
+			emitFail(failRecord{Kind: "audit", Scenario: f.Case, Detail: f.Problem})
+		}
+		if len(findings) > 0 {
+			fmt.Printf("audit: %d drift finding(s) between %s and %s\n", len(findings), *cases, *dir)
+			return exitAudit
+		}
+		fmt.Printf("audit: %s and %s agree (%d scenarios)\n", *cases, *dir, len(scs))
+		return exitOK
+	}
+
+	if *list {
+		for _, sc := range scs {
+			fmt.Printf("%-28s %-8s %2d assertions  %s\n", sc.Name, sc.Case, len(sc.Assertions), sc.Description)
+		}
+		return exitOK
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	start := time.Now()
+	results := scenario.RunAll(ctx, scs, *workers)
+
+	// One summary row per scenario, rendered by the same Table model
+	// every paper artifact goes through.
+	tbl := &report.Table{
+		Artifact: "scenario_suite",
+		Comments: []string{
+			fmt.Sprintf("scenario suite: %d scenarios from %s", len(results), *dir),
+			fmt.Sprintf("wall %.2fs, %d workers requested", time.Since(start).Seconds(), *workers),
+		},
+		Columns: []string{"scenario", "case", "status", "checks", "failed", "elapsed_s", "detail"},
+	}
+	worst := exitOK
+	raise := func(code int) {
+		if code > worst {
+			worst = code
+		}
+	}
+	for _, r := range results {
+		status, detail := "pass", ""
+		failed := r.FailedChecks()
+		switch {
+		case r.Err != nil && errors.Is(r.Err, context.Canceled):
+			status, detail = "cancelled", r.Err.Error()
+			emitFail(failRecord{Kind: "cancelled", Scenario: r.Scenario.Name, File: r.Scenario.Path, Detail: detail})
+			raise(exitCancel)
+		case r.Err != nil:
+			status, detail = "error", r.Err.Error()
+			emitFail(failRecord{Kind: "runtime", Scenario: r.Scenario.Name, File: r.Scenario.Path, Detail: detail})
+			raise(exitRuntime)
+		case len(failed) > 0:
+			status, detail = "fail", failed[0].Detail
+			for _, c := range failed {
+				emitFail(failRecord{Kind: "assertion", Scenario: r.Scenario.Name,
+					File: r.Scenario.Path, Assertion: c.Assertion, Detail: c.Detail})
+			}
+			raise(exitAssert)
+		}
+		if *verbose {
+			for _, c := range r.Checks {
+				mark := "ok  "
+				if !c.Pass {
+					mark = "FAIL"
+				}
+				log.Printf("%s %-24s %-28s %s", mark, r.Scenario.Name, c.Assertion, c.Detail)
+			}
+		}
+		tbl.Rows = append(tbl.Rows, []string{
+			r.Scenario.Name,
+			r.Scenario.Case,
+			status,
+			fmt.Sprintf("%d", len(r.Checks)),
+			fmt.Sprintf("%d", len(failed)),
+			fmt.Sprintf("%.2f", r.Elapsed.Seconds()),
+			detail,
+		})
+	}
+
+	var werr error
+	if *format == "json" {
+		werr = tbl.WriteJSON(os.Stdout)
+	} else {
+		werr = tbl.WriteTSV(os.Stdout)
+	}
+	if werr != nil {
+		log.Fatalf("scenarios: rendering summary: %v", werr)
+	}
+	return worst
+}

@@ -20,9 +20,39 @@ import (
 	"repro/internal/netquant"
 	"repro/internal/pcap"
 	"repro/internal/radiation"
+	"repro/internal/scenario"
 	"repro/internal/stats"
 	"repro/internal/telescope"
 )
+
+// TestScenarioSuite runs the complete YAML scenario zoo under
+// scenarios/ as Go subtests: the same files, runner, and assertions
+// the cmd/scenarios CLI checks, here under `go test` (and -race in
+// CI). A failing subtest names the scenario and the assertion that
+// did not hold.
+func TestScenarioSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full scenario zoo")
+	}
+	scenario.RunDir(t, "scenarios")
+}
+
+// TestE2ECasesAudit pins docs/e2e-cases.md to reality: every `done`
+// row must name its coverage, and the Z-table must match the shipped
+// scenario files one-to-one (same drift check as `scenarios -audit`).
+func TestE2ECasesAudit(t *testing.T) {
+	scs, err := scenario.LoadDir("scenarios")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := scenario.Audit("docs/e2e-cases.md", scs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s: %s", f.Case, f.Problem)
+	}
+}
 
 func TestEndToEndWireLevel(t *testing.T) {
 	cfg := radiation.DefaultConfig()

@@ -1,0 +1,159 @@
+package ipaddr
+
+// v6.go carries the IPv6-source adapter. The observatory pipeline is
+// built around 32-bit matrix indices (the paper's 2^32 x 2^32
+// hypersparse traffic matrices), so IPv6 origins do not widen the hot
+// path: they are embedded deterministically into the class E quarter of
+// the IPv4 index space (240.0.0.0/4), which no routable IPv4 source can
+// occupy — randomPublicAddr and real darkspace traffic never produce
+// class E sources, so embedded and native sources cannot collide by
+// construction. The embedding is a keyed hash of the full 128 bits:
+// stable for a given address, uniform over the /4, and one-way (the
+// D4M boundary keeps the Addr6 alongside when the original form is
+// needed, exactly as CryptoPAN anonymization keeps its reverse table).
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Addr6 is an IPv6 address in network byte order.
+type Addr6 [16]byte
+
+// Parse6 converts an RFC 4291 text address (full or ::-compressed hex
+// groups, no embedded-IPv4 dotted form) to an Addr6.
+func Parse6(s string) (Addr6, error) {
+	var a Addr6
+	if s == "" {
+		return a, fmt.Errorf("ipaddr: empty IPv6 address")
+	}
+	head, tail, compressed := s, "", false
+	if i := strings.Index(s, "::"); i >= 0 {
+		compressed = true
+		head, tail = s[:i], s[i+2:]
+		if strings.Contains(tail, "::") {
+			return a, fmt.Errorf("ipaddr: multiple :: in %q", s)
+		}
+	}
+	parse := func(part string) ([]uint16, error) {
+		if part == "" {
+			return nil, nil
+		}
+		toks := strings.Split(part, ":")
+		out := make([]uint16, len(toks))
+		for i, tok := range toks {
+			if tok == "" || len(tok) > 4 {
+				return nil, fmt.Errorf("ipaddr: invalid group %q in %q", tok, s)
+			}
+			v, err := strconv.ParseUint(tok, 16, 16)
+			if err != nil {
+				return nil, fmt.Errorf("ipaddr: invalid group %q in %q", tok, s)
+			}
+			out[i] = uint16(v)
+		}
+		return out, nil
+	}
+	hi, err := parse(head)
+	if err != nil {
+		return a, err
+	}
+	lo, err := parse(tail)
+	if err != nil {
+		return a, err
+	}
+	n := len(hi) + len(lo)
+	switch {
+	case compressed && n >= 8:
+		return a, fmt.Errorf("ipaddr: :: in %q compresses nothing", s)
+	case !compressed && n != 8:
+		return a, fmt.Errorf("ipaddr: %q has %d groups, want 8", s, n)
+	}
+	groups := make([]uint16, 0, 8)
+	groups = append(groups, hi...)
+	for i := n; i < 8; i++ {
+		groups = append(groups, 0)
+	}
+	groups = append(groups, lo...)
+	for i, g := range groups {
+		a[2*i] = byte(g >> 8)
+		a[2*i+1] = byte(g)
+	}
+	return a, nil
+}
+
+// MustParse6 is Parse6 that panics on error, for constants in tests.
+func MustParse6(s string) Addr6 {
+	a, err := Parse6(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// String returns the canonical RFC 5952 text form: lowercase hex
+// groups, leading zeros dropped, the longest run of two or more zero
+// groups compressed to "::".
+func (a Addr6) String() string {
+	var groups [8]uint16
+	for i := range groups {
+		groups[i] = uint16(a[2*i])<<8 | uint16(a[2*i+1])
+	}
+	// Longest zero run of length >= 2, leftmost on ties.
+	best, bestLen := -1, 1
+	for i := 0; i < 8; {
+		if groups[i] != 0 {
+			i++
+			continue
+		}
+		j := i
+		for j < 8 && groups[j] == 0 {
+			j++
+		}
+		if j-i > bestLen {
+			best, bestLen = i, j-i
+		}
+		i = j
+	}
+	var b strings.Builder
+	for i := 0; i < 8; i++ {
+		if i == best {
+			b.WriteString("::")
+			i += bestLen - 1
+			continue
+		}
+		if i > 0 && !(best >= 0 && i == best+bestLen) {
+			b.WriteByte(':')
+		}
+		b.WriteString(strconv.FormatUint(uint64(groups[i]), 16))
+	}
+	return b.String()
+}
+
+// V6EmbedPrefix is the slice of the IPv4 index space reserved for
+// embedded IPv6 sources: class E, which carries no routable IPv4
+// traffic and which the synthetic population generator never samples.
+var V6EmbedPrefix = Prefix{Base: 0xF0000000, Bits: 4}
+
+// EmbedV6 maps an IPv6 address to its 32-bit matrix index inside
+// V6EmbedPrefix: a splitmix-style hash of all 128 bits folded to the 28
+// free bits. Deterministic and uniform; collisions between distinct
+// IPv6 addresses are possible (birthday-bounded at ~2^14 sources) and
+// are handled by the caller the same way duplicate IPv4 draws are.
+func EmbedV6(a Addr6) Addr {
+	var x uint64
+	for i := 0; i < 16; i += 8 {
+		w := uint64(a[i])<<56 | uint64(a[i+1])<<48 | uint64(a[i+2])<<40 | uint64(a[i+3])<<32 |
+			uint64(a[i+4])<<24 | uint64(a[i+5])<<16 | uint64(a[i+6])<<8 | uint64(a[i+7])
+		x ^= w * 0x9E3779B97F4A7C15
+		x ^= x >> 30
+		x *= 0xBF58476D1CE4E5B9
+		x ^= x >> 27
+	}
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return V6EmbedPrefix.Nth(x & (1<<28 - 1))
+}
+
+// IsV6Embedded reports whether a is an embedded IPv6 matrix index.
+func IsV6Embedded(a Addr) bool { return V6EmbedPrefix.Contains(a) }

@@ -1,0 +1,71 @@
+package ipaddr
+
+import "testing"
+
+func TestParse6RoundTrip(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"2001:db8::1", "2001:db8::1"},
+		{"2001:0db8:0000:0000:0000:0000:0000:0001", "2001:db8::1"},
+		{"::", "::"},
+		{"::1", "::1"},
+		{"fe80::", "fe80::"},
+		{"2001:db8:1:2:3:4:5:6", "2001:db8:1:2:3:4:5:6"},
+		{"0:0:1:0:0:0:0:1", "0:0:1::1"}, // longest run wins
+		{"1:0:0:2:0:0:0:3", "1:0:0:2::3"},
+	}
+	for _, c := range cases {
+		a, err := Parse6(c.in)
+		if err != nil {
+			t.Errorf("Parse6(%q): %v", c.in, err)
+			continue
+		}
+		if got := a.String(); got != c.want {
+			t.Errorf("Parse6(%q).String() = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParse6Rejects(t *testing.T) {
+	for _, s := range []string{
+		"", ":::", "1::2::3", "2001:db8", "1:2:3:4:5:6:7:8:9",
+		"g::1", "12345::", "1:2:3:4:5:6:7:8::",
+	} {
+		if _, err := Parse6(s); err == nil {
+			t.Errorf("Parse6(%q) accepted", s)
+		}
+	}
+}
+
+func TestEmbedV6(t *testing.T) {
+	a := MustParse6("2001:db8::1")
+	b := MustParse6("2001:db8::2")
+	ea, eb := EmbedV6(a), EmbedV6(b)
+	if ea != EmbedV6(a) {
+		t.Error("EmbedV6 not deterministic")
+	}
+	if ea == eb {
+		t.Errorf("adjacent addresses collide: %v", ea)
+	}
+	for _, e := range []Addr{ea, eb} {
+		if !IsV6Embedded(e) {
+			t.Errorf("%v outside the embedding prefix", e)
+		}
+		if IsPrivate(e) {
+			t.Errorf("%v is RFC 1918", e)
+		}
+	}
+}
+
+// The embedding space must be disjoint from everything the synthetic
+// population can draw natively, or embedded and native sources could
+// alias in the traffic matrices.
+func TestV6EmbedPrefixDisjoint(t *testing.T) {
+	if V6EmbedPrefix.Contains(MustParse("44.0.0.1")) {
+		t.Error("embedding prefix overlaps the default darkspace")
+	}
+	for _, p := range []Prefix{rfc1918a, rfc1918b, rfc1918c} {
+		if V6EmbedPrefix.Contains(p.Base) {
+			t.Errorf("embedding prefix overlaps %v", p)
+		}
+	}
+}

@@ -77,6 +77,32 @@ type Config struct {
 	// Noise sources that the telescope's validity filter must discard:
 	// fraction of emitted packets carrying RFC 1918 (bogon) sources.
 	BogonRate float64
+
+	// Workload-zoo knobs (scenario suites). All default to zero values
+	// that reproduce the paper's census mix byte for byte; the extra
+	// Bernoulli draws they introduce ride the hashUnit channels, not
+	// the population RNG, so enabling one never perturbs another's
+	// stream.
+
+	// Mix optionally overrides the built-in archetype population shares
+	// in Archetype order (scanner, worm, backscatter, botnet,
+	// misconfiguration). Empty means the built-in census mix; otherwise
+	// it must hold one non-negative weight per archetype with a
+	// positive sum (weights are normalized).
+	Mix []float64
+
+	// VerticalScan is the fraction of Scanner sources that run vertical
+	// campaigns: instead of spraying SYNs across the darkspace at a few
+	// well-known ports (horizontal), a vertical scanner hammers one
+	// darkspace host and sweeps its port space sequentially.
+	VerticalScan float64
+
+	// V6Sources is the fraction of sources with IPv6 origins. Their
+	// 128-bit addresses enter the 32-bit matrices through the
+	// deterministic class E embedding (ipaddr.EmbedV6), so the
+	// hypersparse hot path is address-family blind; Source.IP6 keeps
+	// the original form for the D4M boundary.
+	V6Sources float64
 }
 
 // DefaultConfig returns a laptop-scale configuration that preserves the
@@ -142,8 +168,44 @@ func (c Config) Validate() error {
 		return fmt.Errorf("radiation: BogonRate must be in [0, 0.5], got %g", c.BogonRate)
 	case c.Darkspace.Bits < 1 || c.Darkspace.Bits > 24:
 		return fmt.Errorf("radiation: Darkspace must be /1../24, got %v", c.Darkspace)
+	case c.VerticalScan < 0 || c.VerticalScan > 1:
+		return fmt.Errorf("radiation: VerticalScan must be in [0,1], got %g", c.VerticalScan)
+	case c.V6Sources < 0 || c.V6Sources > 1:
+		return fmt.Errorf("radiation: V6Sources must be in [0,1], got %g", c.V6Sources)
+	}
+	if len(c.Mix) > 0 {
+		if len(c.Mix) != int(numArchetypes) {
+			return fmt.Errorf("radiation: Mix must hold %d weights, got %d", numArchetypes, len(c.Mix))
+		}
+		sum := 0.0
+		for i, w := range c.Mix {
+			if w < 0 {
+				return fmt.Errorf("radiation: Mix[%d] (%s) is negative: %g", i, Archetype(i), w)
+			}
+			sum += w
+		}
+		if sum <= 0 {
+			return fmt.Errorf("radiation: Mix weights sum to zero")
+		}
 	}
 	return nil
+}
+
+// mixWeights returns the normalized archetype shares: Config.Mix when
+// set, the built-in census mix otherwise.
+func (c Config) mixWeights() [numArchetypes]float64 {
+	if len(c.Mix) == 0 {
+		return archetypeWeights
+	}
+	var out [numArchetypes]float64
+	sum := 0.0
+	for _, w := range c.Mix {
+		sum += w
+	}
+	for i, w := range c.Mix {
+		out[i] = w / sum
+	}
+	return out
 }
 
 // BetaStar returns the ground-truth β*(d): BetaBase with a Gaussian dip

@@ -223,9 +223,21 @@ func (st *Stream) fill(pkt *pcap.Packet, src *Source, tr *sourceTrain) {
 	case Scanner:
 		pkt.Proto = pcap.ProtoTCP
 		pkt.Flags = pcap.FlagSYN
-		pkt.Dst = dark.Nth(uint64(r.intn(int(dark.Size()))))
-		pkt.SrcPort = uint16(1024 + r.intn(64000))
-		pkt.DstPort = pickScanPort(r)
+		if src.Vertical {
+			// Vertical campaign: one darkspace host, sequential walk of
+			// its port space from a per-source starting offset.
+			base := uint64(src.IP) * 0x9E3779B97F4A7C15
+			pkt.Dst = dark.Nth(base % dark.Size())
+			pkt.SrcPort = uint16(1024 + r.intn(64000))
+			pkt.DstPort = uint16(1 + (uint32(base>>40)+uint32(tr.seq))%65535)
+		} else {
+			// Draw order matters: the horizontal path must consume the
+			// rng exactly as the original census generator did, so
+			// zero-knob configs emit byte-identical streams.
+			pkt.Dst = dark.Nth(uint64(r.intn(int(dark.Size()))))
+			pkt.SrcPort = uint16(1024 + r.intn(64000))
+			pkt.DstPort = pickScanPort(r)
+		}
 		pkt.Length = 60
 	case Worm:
 		pkt.Proto = pcap.ProtoTCP

@@ -56,6 +56,9 @@ type Source struct {
 	Anchor     float64 // beam anchor month (fractional)
 	Type       Archetype
 	Persistent bool // always-on background source
+	Vertical   bool // Scanner only: one darkspace host, sequential port sweep
+	V6         bool // IPv6 origin; IP is the class E embedding of IP6
+	IP6        ipaddr.Addr6
 }
 
 // Population is an immutable set of radiation sources plus the beam
@@ -72,6 +75,7 @@ func NewPopulation(cfg Config) (*Population, error) {
 		return nil, err
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
+	weights := cfg.mixWeights()
 	p := &Population{cfg: cfg, sources: make([]Source, cfg.NumSources)}
 	seen := make(map[ipaddr.Addr]bool, cfg.NumSources)
 	for i := range p.sources {
@@ -82,10 +86,48 @@ func NewPopulation(cfg Config) (*Population, error) {
 		// Anchors extend past both ends of the study so edge months see
 		// both arriving and departing beams.
 		s.Anchor = -6 + rng.Float64()*(float64(cfg.Months)+12)
-		s.Type = sampleArchetype(rng)
+		s.Type = sampleArchetype(rng, weights)
 		s.Persistent = rng.Float64() < cfg.Persistent
+		// The workload-zoo draws ride hashUnit channels so a zero knob
+		// leaves the rng stream — and thus the whole population —
+		// byte-identical to the census configuration.
+		if cfg.V6Sources > 0 && hashUnit(cfg.Seed, uint64(i), 0, chanV6) < cfg.V6Sources {
+			s.V6 = true
+			for salt := uint64(0); ; salt++ {
+				s.IP6 = synthV6(uint64(cfg.Seed), uint64(i), salt)
+				a := ipaddr.EmbedV6(s.IP6)
+				if !seen[a] {
+					seen[a] = true
+					s.IP = a
+					break
+				}
+			}
+		}
+		if s.Type == Scanner && cfg.VerticalScan > 0 {
+			s.Vertical = hashUnit(cfg.Seed, uint64(i), 0, chanVertical) < cfg.VerticalScan
+		}
 	}
 	return p, nil
+}
+
+// synthV6 derives a deterministic synthetic IPv6 origin in the
+// documentation prefix 2001:db8::/32; salt breaks the rare embedding
+// collision without disturbing other sources.
+func synthV6(seed, id, salt uint64) ipaddr.Addr6 {
+	x := seed ^ id*0x9E3779B97F4A7C15 ^ (salt+1)*0xD1B54A32D192ED03
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	y := x * 0x94D049BB133111EB
+	y ^= y >> 31
+	var a ipaddr.Addr6
+	a[0], a[1], a[2], a[3] = 0x20, 0x01, 0x0d, 0xb8
+	for k := 0; k < 4; k++ {
+		a[4+k] = byte(x >> (8 * k))
+		a[8+k] = byte(y >> (8 * k))
+		a[12+k] = byte((x ^ y) >> (8 * (k + 4)))
+	}
+	return a
 }
 
 // Len returns the population size.
@@ -157,17 +199,19 @@ func (p *Population) GroundTruthVisibility(i int, month int) float64 {
 	return peak * (p.cfg.Background + (1-p.cfg.Background)*p.beam(s, float64(month)+0.5))
 }
 
-// channel salts separating the telescope and honeyfarm Bernoulli draws
+// channel salts separating the independent per-source Bernoulli draws
 const (
 	chanTelescope = 0x7e1e5c09e
 	chanHoneyfarm = 0x40e79fa2
+	chanV6        = 0x6b8f0aa17
+	chanVertical  = 0x51c64e6d3
 )
 
-func sampleArchetype(rng *rand.Rand) Archetype {
+func sampleArchetype(rng *rand.Rand, weights [numArchetypes]float64) Archetype {
 	u := rng.Float64()
 	acc := 0.0
 	for a := Scanner; a < numArchetypes; a++ {
-		acc += archetypeWeights[a]
+		acc += weights[a]
 		if u < acc {
 			return a
 		}

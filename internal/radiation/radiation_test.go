@@ -18,34 +18,8 @@ func smallConfig() Config {
 	return c
 }
 
-func TestConfigValidate(t *testing.T) {
-	if err := DefaultConfig().Validate(); err != nil {
-		t.Fatalf("default config invalid: %v", err)
-	}
-	if err := PaperScaleConfig().Validate(); err != nil {
-		t.Fatalf("paper-scale config invalid: %v", err)
-	}
-	mutations := []func(*Config){
-		func(c *Config) { c.NumSources = 0 },
-		func(c *Config) { c.Months = 0 },
-		func(c *Config) { c.ZM.Alpha = 1.0 },
-		func(c *Config) { c.ZM.DMax = 1 },
-		func(c *Config) { c.AlphaStar = 0 },
-		func(c *Config) { c.BetaBase = -1 },
-		func(c *Config) { c.Background = 1.5 },
-		func(c *Config) { c.Persistent = -0.1 },
-		func(c *Config) { c.BrightLog2 = 0 },
-		func(c *Config) { c.BogonRate = 0.9 },
-		func(c *Config) { c.Darkspace = ipaddr.MustParsePrefix("1.2.3.4/32") },
-	}
-	for i, mut := range mutations {
-		c := DefaultConfig()
-		mut(&c)
-		if err := c.Validate(); err == nil {
-			t.Errorf("mutation %d accepted", i)
-		}
-	}
-}
+// TestConfigValidate moved to validate_test.go: a named negative-path
+// sweep over every field, including the workload-zoo knobs.
 
 func TestBetaStarDip(t *testing.T) {
 	c := DefaultConfig()

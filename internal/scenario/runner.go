@@ -1,0 +1,128 @@
+package scenario
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/pool"
+	"repro/internal/tripled"
+)
+
+// Result is one scenario's execution record: every assertion's check,
+// or the error that stopped the run before the checks could be made.
+type Result struct {
+	Scenario *Scenario
+	Checks   []Check
+	Err      error // pipeline failure or cancellation; nil when Checks ran
+	Elapsed  time.Duration
+}
+
+// Passed reports whether the scenario ran to completion with every
+// assertion holding.
+func (r *Result) Passed() bool {
+	if r.Err != nil {
+		return false
+	}
+	for _, c := range r.Checks {
+		if !c.Pass {
+			return false
+		}
+	}
+	return true
+}
+
+// FailedChecks returns the assertions that did not hold.
+func (r *Result) FailedChecks() []Check {
+	var out []Check
+	for _, c := range r.Checks {
+		if !c.Pass {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// execute runs one configuration through the full pipeline, optionally
+// routed through an in-process tripled store (the same service the
+// production path dials over TCP, bound to a loopback port for the
+// scenario's lifetime).
+func execute(ctx context.Context, cfg core.Config, store bool) (*core.Result, error) {
+	if store {
+		srv, err := tripled.Serve(tripled.NewStore(), "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("scenario: start store: %w", err)
+		}
+		defer srv.Close()
+		cfg.StoreAddr = srv.Addr()
+	} else {
+		cfg.StoreAddr = ""
+	}
+	p, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return p.RunContext(ctx)
+}
+
+// Run executes one scenario: the configured study, then every
+// assertion against its result.
+func Run(ctx context.Context, sc *Scenario) *Result {
+	start := time.Now()
+	out := &Result{Scenario: sc}
+	defer func() { out.Elapsed = time.Since(start) }()
+
+	res, err := execute(ctx, sc.Config, sc.Store)
+	if err != nil {
+		out.Err = err
+		return out
+	}
+	env := &runEnv{sc: sc, cfg: sc.Config, res: res}
+	var (
+		other    *core.Result
+		otherErr error
+		reran    bool
+	)
+	env.rerun = func() (*core.Result, error) {
+		// Memoized: several parity assertions share one opposite-mode run.
+		if !reran {
+			other, otherErr = execute(ctx, sc.Config, !sc.Store)
+			reran = true
+		}
+		return other, otherErr
+	}
+	for _, a := range sc.Assertions {
+		if err := ctx.Err(); err != nil {
+			out.Err = err
+			return out
+		}
+		out.Checks = append(out.Checks, a.run(env))
+	}
+	return out
+}
+
+// RunAll executes scenarios in parallel over the shared worker pool,
+// returning results index-aligned with the input. Cancellation marks
+// every unstarted scenario's result with the context error rather than
+// dropping it, so a suite interrupted mid-run still reports one record
+// per scenario.
+func RunAll(ctx context.Context, scs []*Scenario, workers int) []*Result {
+	out := make([]*Result, len(scs))
+	// Run never returns an error, so Each only stops early on ctx.
+	_ = pool.Each(ctx, workers, len(scs), func(ctx context.Context, i int) error {
+		out[i] = Run(ctx, scs[i])
+		return nil
+	})
+	for i, r := range out {
+		if r == nil {
+			err := ctx.Err()
+			if err == nil {
+				err = errors.New("scenario: not run")
+			}
+			out[i] = &Result{Scenario: scs[i], Err: err}
+		}
+	}
+	return out
+}

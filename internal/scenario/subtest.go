@@ -1,0 +1,35 @@
+package scenario
+
+import (
+	"context"
+	"testing"
+)
+
+// RunDir executes every scenario under dir as a Go subtest, so the
+// whole zoo runs inside `go test` (and under -race) with the same
+// assertions the cmd/scenarios CLI checks. A failing subtest names the
+// scenario and each assertion that did not hold.
+func RunDir(t *testing.T, dir string) {
+	t.Helper()
+	scs, err := LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading scenarios: %v", err)
+	}
+	for _, sc := range scs {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			r := Run(context.Background(), sc)
+			if r.Err != nil {
+				t.Fatalf("scenario %s (%s): %v", sc.Name, sc.Path, r.Err)
+			}
+			for _, c := range r.Checks {
+				if c.Pass {
+					t.Logf("ok   %-28s %s", c.Assertion, c.Detail)
+				} else {
+					t.Errorf("FAIL %s: %s", c.Assertion, c.Detail)
+				}
+			}
+		})
+	}
+}
