@@ -40,16 +40,29 @@
 //     and must render fig7_fig8 byte-identical to the serial oracle,
 //     which is checked unconditionally on every -study run.
 //
+// The quick -study fixture measures an 8-snapshot study (the paper's
+// realistic 5-snapshot study caps the ideal 4-worker speedup at ~2.5x),
+// so its study gate floor is 4 CPUs and fires on a standard 4-vCPU CI
+// runner; the full-scale report keeps the 5-snapshot study and its
+// 6-CPU floor as the trajectory record.
+//
 // Every report records gomaxprocs and numcpu so cross-machine numbers
 // (e.g. multi-worker metrics measured on a 1-CPU container, where w8
-// can lose to w1) can be read in context.
+// can lose to w1) can be read in context. -check additionally fails —
+// for either schema — when the runner has >= 4 CPUs but the baseline
+// was recorded with fewer: such a baseline's CPU-floored gates can
+// never fire and its throughput floors describe the wrong machine
+// class, so it must be regenerated where the check runs.
 //
-// CI runs `benchreport -quick -check BENCH_hotpath_quick.json
-// -max-regress 0.5` and the -study equivalent against
-// BENCH_study_quick.json (committed quick-scale baselines, with a wide
-// cross-machine margin) so hot-path and study regressions fail the
-// build; BENCH_hotpath.json and BENCH_study.json are the full-scale
-// same-machine trajectory records.
+// CI therefore regenerates the quick baselines on its own runner
+// (`benchreport -quick -out` / `-study -quick -out`) and -checks
+// against those, failing the build if any speedup gate reports an
+// annotated skip — the gates actually run, on honest multi-core
+// numbers. The committed BENCH_*_quick.json files are the
+// container-recorded references for same-machine work, and
+// BENCH_hotpath.json / BENCH_study.json are the full-scale trajectory
+// records; the stale-baseline rule above keeps any of them from being
+// checked against a machine class they were not measured on.
 package main
 
 import (
@@ -146,18 +159,16 @@ func defaultGates() Gates {
 	}
 }
 
-func defaultStudyGates() Gates {
-	return Gates{
+func defaultStudyGates(quick bool) Gates {
+	g := Gates{
 		CorrelateAllocsMax: 0,
 		// The >= 2x whole-study bar of the scheduler's acceptance
-		// criteria. The CPU floor is 6, not 4: this report measures the
-		// realistic 5-snapshot study, whose ideal speedup on 4-5 CPUs
-		// is only ~2.5x (5 snapshot jobs, one worker runs two), leaving
-		// no margin for a noisy shared runner. From 6 CPUs every
-		// snapshot runs concurrently and the ideal is ~4-5x, so 2x has
-		// real headroom. The >= 2x at exactly 4 workers bar itself is
-		// enforced by core's TestStudySpeedup, which measures an
-		// 8-snapshot fixture built for that margin.
+		// criteria. The full-scale CPU floor is 6, not 4: that report
+		// measures the realistic 5-snapshot study, whose ideal speedup
+		// on 4-5 CPUs is only ~2.5x (5 snapshot jobs, one worker runs
+		// two), leaving no margin for a noisy shared runner. From 6
+		// CPUs every snapshot runs concurrently and the ideal is
+		// ~4-5x, so 2x has real headroom.
 		StudySpeedupMin:     2,
 		StudySpeedupMinCPUs: 6,
 		// The fit jobs are pure CPU and plentiful (every snapshot
@@ -166,6 +177,15 @@ func defaultStudyGates() Gates {
 		FitSpeedupMin:     2,
 		FitSpeedupMinCPUs: 4,
 	}
+	if quick {
+		// The quick fixture measures an 8-snapshot study (see
+		// studyConfig) precisely so the gate can fire on the 4-vCPU CI
+		// runner: 8 jobs on 4 workers is ~4x ideal, so >= 2x needs only
+		// ~50% parallel efficiency — the same margin core's
+		// TestStudySpeedup is built on.
+		g.StudySpeedupMinCPUs = 4
+	}
+	return g
 }
 
 func main() {
@@ -239,6 +259,24 @@ func compare(fresh, base *Report, maxRegress float64) []string {
 	var errs []string
 	if fresh.Schema != base.Schema {
 		return []string{fmt.Sprintf("schema mismatch: fresh %q vs baseline %q", fresh.Schema, base.Schema)}
+	}
+	// A baseline recorded on fewer CPUs than the speedup gates' floor is
+	// a trap: checked on a multi-core runner, its CPU-floored gates and
+	// per-machine throughput floors describe a machine class the runner
+	// is not in, so the gates that matter most either skip forever or
+	// pass vacuously. A gate that can never fire is a bug — fail loudly
+	// and demand a baseline regenerated where the check runs.
+	const minGateCPUs = 4
+	if fresh.NumCPU >= minGateCPUs && base.NumCPU < minGateCPUs {
+		regen := "benchreport -out FILE"
+		if fresh.Schema == studySchema {
+			regen = "benchreport -study -out FILE"
+		}
+		errs = append(errs, fmt.Sprintf(
+			"stale baseline: recorded at %d CPUs but this runner has %d (>= %d); "+
+				"regenerate it on this machine class (%s) so the CPU-floored "+
+				"speedup gates can actually fire",
+			base.NumCPU, fresh.NumCPU, minGateCPUs, regen))
 	}
 	g := base.Gates
 	checkAllocs := func(name string, max float64) {
@@ -492,6 +530,18 @@ func studyConfig(quick bool) core.Config {
 	if quick {
 		cfg := core.QuickConfig()
 		cfg.Workers = 1
+		// Eight snapshots instead of the paper's five, for the same
+		// reason core's TestStudySpeedup measures an 8-snapshot fixture:
+		// snapshot captures dominate the wall clock, and 5 jobs on 4
+		// workers cap the ideal speedup at ~2.5x — too close to the 2x
+		// bar for a shared CI runner. At 8 jobs the ideal is ~4x, so the
+		// quick-scale study gate can be enforced from 4 CPUs (see
+		// defaultStudyGates). The full-scale report below keeps the
+		// realistic paper study as the trajectory record.
+		cfg.SnapshotTimes = nil
+		for m := 2; m < 10; m++ {
+			cfg.SnapshotTimes = append(cfg.SnapshotTimes, cfg.StudyStart.AddDate(0, m, 14))
+		}
 		return cfg
 	}
 	cfg := core.DefaultConfig()
@@ -516,7 +566,7 @@ func measureStudy(quick bool) *Report {
 		NumCPU:     runtime.NumCPU(),
 		Quick:      quick,
 		Metrics:    map[string]Metric{},
-		Gates:      defaultStudyGates(),
+		Gates:      defaultStudyGates(quick),
 	}
 	cfg := studyConfig(quick)
 

@@ -108,7 +108,13 @@ func QuickConfig() Config {
 }
 
 // Validate reports configuration errors.
-func (c Config) Validate() error {
+func (c Config) Validate() error { return c.validate(false) }
+
+// validate checks the configuration; resident mode (the study daemon)
+// relaxes exactly one rule — SnapshotTimes may be empty, because a
+// resident study starts with no snapshots and grows them over the
+// ingest API.
+func (c Config) validate(resident bool) error {
 	if err := c.Radiation.Validate(); err != nil {
 		return err
 	}
@@ -119,7 +125,7 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: LeafSize must be positive, got %d", c.LeafSize)
 	case c.Sensors <= 0:
 		return fmt.Errorf("core: Sensors must be positive, got %d", c.Sensors)
-	case len(c.SnapshotTimes) == 0:
+	case !resident && len(c.SnapshotTimes) == 0:
 		return fmt.Errorf("core: at least one snapshot time required")
 	case c.StudyStart.IsZero():
 		return fmt.Errorf("core: StudyStart required")
@@ -138,6 +144,11 @@ func (c Config) Validate() error {
 func (c Config) monthOf(ts time.Time) float64 {
 	return ts.Sub(c.StudyStart).Hours() / 24 / 30.44
 }
+
+// MonthOf is the exported fractional-month conversion, used by the
+// resident daemon to validate ingested snapshot times against the
+// study span the way Validate does for batch configurations.
+func (c Config) MonthOf(ts time.Time) float64 { return c.monthOf(ts) }
 
 // SqrtNVLog2 returns log2(sqrt(NV)), the paper's brightness threshold
 // exponent (15 for NV = 2^30).
@@ -186,6 +197,25 @@ func New(cfg Config) (*Pipeline, error) {
 	}
 	// Capture runs through the engine, which takes cfg.Workers directly;
 	// the telescope only needs the leaf size here.
+	tel := telescope.New(cfg.Radiation.Darkspace, cfg.AnonPassphrase,
+		telescope.WithLeafSize(cfg.LeafSize))
+	farm := honeyfarm.New(cfg.Sensors, cfg.Radiation.Seed+1)
+	return &Pipeline{cfg: cfg, pop: pop, tel: tel, farm: farm}, nil
+}
+
+// NewResident builds a Pipeline for a long-lived incremental owner
+// (the study daemon): identical to New except the configuration may
+// start with no snapshot times — a resident study begins empty and
+// grows months and snapshots one IngestMonth / IngestSnapshot call at
+// a time.
+func NewResident(cfg Config) (*Pipeline, error) {
+	if err := cfg.validate(true); err != nil {
+		return nil, err
+	}
+	pop, err := radiation.NewPopulation(cfg.Radiation)
+	if err != nil {
+		return nil, err
+	}
 	tel := telescope.New(cfg.Radiation.Darkspace, cfg.AnonPassphrase,
 		telescope.WithLeafSize(cfg.LeafSize))
 	farm := honeyfarm.New(cfg.Sensors, cfg.Radiation.Seed+1)
@@ -276,7 +306,10 @@ func (p *Pipeline) RunContext(ctx context.Context) (*Result, error) {
 }
 
 // runSerial is the StudyWorkers=1 degenerate path: months then
-// snapshots, one at a time, on the caller's goroutine.
+// snapshots, one at a time, on the caller's goroutine. Each iteration
+// is one incremental unit — the same IngestMonth / IngestSnapshot the
+// resident daemon calls — so batch and incremental results are
+// identical by construction.
 func (p *Pipeline) runSerial(ctx context.Context) (*Result, error) {
 	res := &Result{Config: p.cfg, Farm: p.farm}
 
@@ -290,57 +323,84 @@ func (p *Pipeline) runSerial(ctx context.Context) (*Result, error) {
 	}
 
 	for m := 0; m < p.cfg.Radiation.Months; m++ {
-		start := p.cfg.StudyStart.AddDate(0, m, 0)
-		label := start.Format("2006-01")
-		mw := p.farm.Month(label)
-		if mw == nil {
-			mw = p.farm.IngestMonth(label, start, p.pop.HoneyfarmMonth(m, start))
+		md, err := p.IngestMonth(db, m)
+		if err != nil {
+			return nil, err
 		}
-		table := mw.Table
-		if db != nil {
-			if err := mw.Publish(db); err != nil {
-				return nil, fmt.Errorf("core: publish month %s: %w", label, err)
-			}
-			var err error
-			if table, err = honeyfarm.FetchMonthTable(db, label); err != nil {
-				return nil, fmt.Errorf("core: fetch month %s: %w", label, err)
-			}
-		}
-		res.Study.Months = append(res.Study.Months, correlate.MonthData{
-			Label: label, Month: m, Table: table,
-		})
+		res.Study.Months = append(res.Study.Months, md)
 	}
 
 	for _, ts := range p.cfg.SnapshotTimes {
-		monthFrac := p.cfg.monthOf(ts)
-		stream := p.pop.TelescopeStream(monthFrac, ts)
-		w, err := p.tel.CaptureWindowEngine(ctx, stream, p.cfg.NV, p.cfg.Workers, p.cfg.Batch)
+		w, snap, err := p.IngestSnapshot(ctx, db, ts)
 		if err != nil {
-			return nil, fmt.Errorf("core: snapshot %v: %w", ts, err)
-		}
-		if w.NV < p.cfg.NV {
-			return nil, fmt.Errorf("core: snapshot %v: stream exhausted at %d of %d packets (population too small for NV)",
-				ts, w.NV, p.cfg.NV)
-		}
-		label := ts.Format("20060102-150405")
-		sources := p.tel.SourceTable(w)
-		if db != nil {
-			if err := p.tel.PublishSourceTable(db, label, w); err != nil {
-				return nil, fmt.Errorf("core: publish snapshot %s: %w", label, err)
-			}
-			if sources, err = telescope.FetchSourceTable(db, label); err != nil {
-				return nil, fmt.Errorf("core: fetch snapshot %s: %w", label, err)
-			}
+			return nil, err
 		}
 		res.Windows = append(res.Windows, w)
-		res.Study.Snapshots = append(res.Study.Snapshots, correlate.Snapshot{
-			Label:   label,
-			Month:   monthFrac,
-			NV:      p.cfg.NV,
-			Sources: sources,
-		})
+		res.Study.Snapshots = append(res.Study.Snapshots, snap)
 	}
 	return res, nil
+}
+
+// IngestMonth is one incremental unit of study growth: build (or
+// reuse) honeyfarm month m, optionally round-tripping the table
+// through the store, exactly as one iteration of the serial batch
+// loop. db may be nil for an in-memory study. Safe to call again for
+// an already-ingested month — the farm's copy is reused and
+// re-published idempotently (the recovery path relies on this). Not
+// safe for concurrent use; the daemon serializes ingest on one
+// goroutine, as runSerial does.
+func (p *Pipeline) IngestMonth(db *tripled.Client, m int) (correlate.MonthData, error) {
+	start := p.cfg.StudyStart.AddDate(0, m, 0)
+	label := start.Format("2006-01")
+	mw := p.farm.Month(label)
+	if mw == nil {
+		mw = p.farm.IngestMonth(label, start, p.pop.HoneyfarmMonth(m, start))
+	}
+	table := mw.Table
+	if db != nil {
+		if err := mw.Publish(db); err != nil {
+			return correlate.MonthData{}, fmt.Errorf("core: publish month %s: %w", label, err)
+		}
+		var err error
+		if table, err = honeyfarm.FetchMonthTable(db, label); err != nil {
+			return correlate.MonthData{}, fmt.Errorf("core: fetch month %s: %w", label, err)
+		}
+	}
+	return correlate.MonthData{Label: label, Month: m, Table: table}, nil
+}
+
+// IngestSnapshot is the other incremental unit: capture one telescope
+// window at ts on the pipeline's telescope and reduce it to the D4M
+// source table, exactly as one iteration of the serial batch loop. db
+// may be nil for an in-memory study. Not safe for concurrent use (one
+// telescope runs one capture at a time).
+func (p *Pipeline) IngestSnapshot(ctx context.Context, db *tripled.Client, ts time.Time) (*telescope.Window, correlate.Snapshot, error) {
+	monthFrac := p.cfg.monthOf(ts)
+	stream := p.pop.TelescopeStream(monthFrac, ts)
+	w, err := p.tel.CaptureWindowEngine(ctx, stream, p.cfg.NV, p.cfg.Workers, p.cfg.Batch)
+	if err != nil {
+		return nil, correlate.Snapshot{}, fmt.Errorf("core: snapshot %v: %w", ts, err)
+	}
+	if w.NV < p.cfg.NV {
+		return nil, correlate.Snapshot{}, fmt.Errorf("core: snapshot %v: stream exhausted at %d of %d packets (population too small for NV)",
+			ts, w.NV, p.cfg.NV)
+	}
+	label := ts.Format("20060102-150405")
+	sources := p.tel.SourceTable(w)
+	if db != nil {
+		if err := p.tel.PublishSourceTable(db, label, w); err != nil {
+			return nil, correlate.Snapshot{}, fmt.Errorf("core: publish snapshot %s: %w", label, err)
+		}
+		if sources, err = telescope.FetchSourceTable(db, label); err != nil {
+			return nil, correlate.Snapshot{}, fmt.Errorf("core: fetch snapshot %s: %w", label, err)
+		}
+	}
+	return w, correlate.Snapshot{
+		Label:   label,
+		Month:   monthFrac,
+		NV:      p.cfg.NV,
+		Sources: sources,
+	}, nil
 }
 
 // TableIRow is one line of the paper's Table I dataset inventory.

@@ -12,14 +12,17 @@ package core
 //   - The radiation Population is immutable after construction, so any
 //     number of workers may synthesize months and streams from it
 //     concurrently.
-//   - Shared mutable state is never touched from the pool. Months are
-//     built with honeyfarm.BuildMonth (reads only the sensor set) and
-//     attached to the farm in month order after the pool joins; each
-//     snapshot worker captures through its own Telescope (CryptoPAN is
-//     a pure function of the passphrase, so per-worker anonymizers
-//     produce the same matrices the serial path's single telescope
-//     does), and each worker with store traffic dials its own tripled
-//     client (the client is single-connection, not concurrency-safe).
+//   - Shared mutable state is either concurrency-safe or never touched
+//     from the pool. Months are built with honeyfarm.BuildMonth (reads
+//     only the sensor set) and attached to the farm in month order
+//     after the pool joins; each snapshot worker captures through its
+//     own Telescope but all of them share the pipeline's one CryptoPAN
+//     cache (cryptopan.Cached is sharded-lock concurrency-safe, the
+//     mapping is a pure function of the passphrase, and sharing keeps
+//     Reverse() a single complete deanonymization table instead of N
+//     cold per-worker memos); each worker with store traffic dials its
+//     own tripled client (the client is single-connection, not
+//     concurrency-safe).
 //   - Results land in index-addressed slots and are assembled in order,
 //     so the Result is byte-identical to the runSerial oracle — proven
 //     by TestParallelStudyMatchesSerialOracle across every emitter.
@@ -150,8 +153,15 @@ func (w *studyWorker) runMonth(m int) (correlate.MonthData, *honeyfarm.MonthWind
 func (w *studyWorker) runSnapshot(ctx context.Context, si int) (*telescope.Window, correlate.Snapshot, error) {
 	p := w.p
 	if w.tel == nil {
+		// Private telescope (captures must not run concurrently on one),
+		// but the study's single CryptoPAN cache: the mapping is a pure
+		// function of the passphrase, so sharing is output-neutral, and
+		// it keeps one memo (and one complete Reverse() table) for the
+		// whole study instead of a cold cache per worker. Cached is
+		// concurrency-safe; the per-shard L1 memos stay worker-private.
 		w.tel = telescope.New(p.cfg.Radiation.Darkspace, p.cfg.AnonPassphrase,
-			telescope.WithLeafSize(p.cfg.LeafSize))
+			telescope.WithLeafSize(p.cfg.LeafSize),
+			telescope.WithAnonymizer(p.tel.Anonymizer()))
 	}
 	ts := p.cfg.SnapshotTimes[si]
 	monthFrac := p.cfg.monthOf(ts)

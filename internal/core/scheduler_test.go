@@ -151,6 +151,36 @@ func TestParallelStudyWorkerSweep(t *testing.T) {
 	}
 }
 
+// TestParallelStudySharesAnonCache pins the scheduler's shared
+// CryptoPAN cache: every per-worker Telescope rides the pipeline's one
+// Cached, so after a parallel run the pipeline cache holds the study's
+// full mapping (same unique-address count the serial oracle memoizes)
+// instead of leaving it cold while N private per-worker memos each
+// re-derive overlapping mappings.
+func TestParallelStudySharesAnonCache(t *testing.T) {
+	lenAfter := func(studyWorkers int) int {
+		cfg := schedulerConfig()
+		cfg.Radiation.NumSources = 2000
+		cfg.NV = 1 << 11
+		cfg.StudyWorkers = studyWorkers
+		p, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return p.tel.Anonymizer().Len()
+	}
+	serial := lenAfter(1)
+	if serial == 0 {
+		t.Fatal("serial run left the pipeline anonymizer cache empty")
+	}
+	if parallel := lenAfter(4); parallel != serial {
+		t.Errorf("pipeline cache holds %d addresses after parallel run, want %d (serial oracle) — workers are not sharing the cache", parallel, serial)
+	}
+}
+
 // TestStudySpeedup is the acceptance gate: at >= 4 study workers the
 // parallel scheduler must finish the whole study at least 2x faster
 // than the serial oracle, with byte-identical artifacts. On runners

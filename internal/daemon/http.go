@@ -1,0 +1,253 @@
+package daemon
+
+// http.go is the daemon's serving surface: the artifact endpoints ride
+// the published Rendered snapshot (one atomic load per request, no
+// study locks), ingest endpoints go through the serialized mutator,
+// and the lifecycle follows tripled.Server's discipline — tracked
+// connections, and a drain that stops ingest, finishes in-flight
+// work, and only then releases the listener.
+//
+// Endpoints:
+//
+//	GET  /healthz                     liveness + study size
+//	GET  /status                      size, seq, per-artifact state, open conns
+//	GET  /artifacts                   artifact index
+//	GET  /artifacts/{id}?format=json  one artifact (json default, tsv)
+//	POST /ingest/month                {"month": 3} or {"month": "2020-05"}
+//	POST /ingest/snapshot             {"time": "2020-06-17T12:00:00Z"}
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/report"
+)
+
+// Server is a running HTTP front end over one Daemon.
+type Server struct {
+	d     *Daemon
+	srv   *http.Server
+	lis   net.Listener
+	conns atomic.Int64 // currently open connections (tracked via ConnState)
+	done  chan error   // Serve's exit, consumed by Shutdown
+}
+
+// Serve starts the HTTP front end on addr ("127.0.0.1:0" for an
+// ephemeral port) and returns once the listener is bound; requests are
+// handled on background goroutines until Shutdown.
+func Serve(d *Daemon, addr string) (*Server, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("daemon: listen %s: %w", addr, err)
+	}
+	s := &Server{d: d, lis: lis, done: make(chan error, 1)}
+	s.srv = &http.Server{
+		Handler: d.Handler(),
+		ConnState: func(_ net.Conn, state http.ConnState) {
+			switch state {
+			case http.StateNew:
+				s.conns.Add(1)
+			case http.StateClosed, http.StateHijacked:
+				s.conns.Add(-1)
+			}
+		},
+	}
+	go func() {
+		err := s.srv.Serve(lis)
+		if err == http.ErrServerClosed {
+			err = nil
+		}
+		s.done <- err
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// Conns reports currently open connections.
+func (s *Server) Conns() int64 { return s.conns.Load() }
+
+// Shutdown drains gracefully: new ingests are rejected immediately,
+// in-flight requests (including an ingest mid-recompute) run to
+// completion, the listener closes, and finally the store connection is
+// released. The ctx bounds how long the drain may take.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.d.draining.Store(true)
+	err := s.srv.Shutdown(ctx)
+	if serveErr := <-s.done; err == nil {
+		err = serveErr
+	}
+	if closeErr := s.d.Close(); err == nil {
+		err = closeErr
+	}
+	return err
+}
+
+// Handler builds the daemon's route table.
+func (d *Daemon) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", d.handleHealthz)
+	mux.HandleFunc("GET /status", d.handleStatus)
+	mux.HandleFunc("GET /artifacts", d.handleIndex)
+	mux.HandleFunc("GET /artifacts/{id}", d.handleArtifact)
+	mux.HandleFunc("POST /ingest/month", d.handleIngestMonth)
+	mux.HandleFunc("POST /ingest/snapshot", d.handleIngestSnapshot)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (d *Daemon) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	snap := d.Snapshot()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"draining":  d.draining.Load(),
+		"seq":       snap.Seq,
+		"months":    snap.Months,
+		"snapshots": snap.Snapshots,
+	})
+}
+
+func (d *Daemon) handleStatus(w http.ResponseWriter, r *http.Request) {
+	snap := d.Snapshot()
+	arts := make(map[string]any, len(snap.Artifacts))
+	for id, a := range snap.Artifacts {
+		st := map[string]any{"runs": d.Runs(id)}
+		if a.Err != "" {
+			st["error"] = a.Err
+		} else {
+			st["tsv_bytes"] = len(a.TSV)
+			st["json_bytes"] = len(a.JSON)
+		}
+		arts[string(id)] = st
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"seq":          snap.Seq,
+		"rendered_at":  snap.At.Format(time.RFC3339Nano),
+		"months":       snap.Months,
+		"snapshots":    snap.Snapshots,
+		"draining":     d.draining.Load(),
+		"artifacts":    arts,
+		"store_backed": d.db != nil,
+	})
+}
+
+func (d *Daemon) handleIndex(w http.ResponseWriter, r *http.Request) {
+	ids := make([]string, 0, len(report.All()))
+	for _, id := range report.All() {
+		ids = append(ids, string(id))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"artifacts": ids})
+}
+
+func (d *Daemon) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	id := report.ArtifactID(r.PathValue("id"))
+	snap := d.Snapshot()
+	a, ok := snap.Artifacts[id]
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown artifact %q", id))
+		return
+	}
+	if a.Err != "" {
+		// Not computable from the current study state (e.g. no
+		// snapshots ingested yet): unavailable, try again after ingest.
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("%s: %s", id, a.Err))
+		return
+	}
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(a.JSON)
+	case "tsv":
+		w.Header().Set("Content-Type", "text/tab-separated-values")
+		w.Write(a.TSV)
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown format %q (want json or tsv)", format))
+	}
+}
+
+// ingestReply is the mutators' response: what changed and how big the
+// study is now.
+func (d *Daemon) ingestReply(w http.ResponseWriter) {
+	snap := d.Snapshot()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":        true,
+		"seq":       snap.Seq,
+		"months":    snap.Months,
+		"snapshots": snap.Snapshots,
+	})
+}
+
+func (d *Daemon) handleIngestMonth(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Month json.RawMessage `json:"month"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Month == nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("body must be {\"month\": <index or \"2006-01\">}"))
+		return
+	}
+	var m int
+	var label string
+	if err := json.Unmarshal(req.Month, &m); err != nil {
+		if err := json.Unmarshal(req.Month, &label); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("month must be a number or string"))
+			return
+		}
+		var perr error
+		if m, perr = d.parseMonthArg(label); perr != nil {
+			writeError(w, http.StatusBadRequest, perr)
+			return
+		}
+	}
+	if err := d.IngestMonth(m); err != nil {
+		writeError(w, ingestStatus(err), err)
+		return
+	}
+	d.ingestReply(w)
+}
+
+func (d *Daemon) handleIngestSnapshot(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Time string `json:"time"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Time == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("body must be {\"time\": \"RFC3339\"}"))
+		return
+	}
+	ts, err := time.Parse(time.RFC3339Nano, req.Time)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("time %q: %v", req.Time, err))
+		return
+	}
+	if err := d.IngestSnapshot(ts); err != nil {
+		writeError(w, ingestStatus(err), err)
+		return
+	}
+	d.ingestReply(w)
+}
+
+// ingestStatus maps mutator errors to HTTP: draining is 503 (retry
+// against the next instance), everything else is a 400-class request
+// problem.
+func ingestStatus(err error) int {
+	if err == errDraining {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusBadRequest
+}

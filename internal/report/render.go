@@ -167,13 +167,29 @@ func tableTableII(g *Graph) *Table {
 		Artifact: Table2,
 		Columns:  []string{"snapshot", "quantity", "value"},
 	}
-	for i, q := range g.TableII() {
-		label := g.in.Study.Snapshots[i].Label
+	quants := g.TableII()
+	labels := g.snapshotLabels()
+	for i, q := range quants {
+		if i >= len(labels) {
+			break
+		}
 		for _, row := range q.Rows() {
-			t.Rows = append(t.Rows, []string{label, row[0], row[1]})
+			t.Rows = append(t.Rows, []string{labels[i], row[0], row[1]})
 		}
 	}
 	return t
+}
+
+// snapshotLabels copies the snapshot labels under the input lock, so
+// render code never reads g.in concurrently with an Update.
+func (g *Graph) snapshotLabels() []string {
+	g.inMu.RLock()
+	defer g.inMu.RUnlock()
+	out := make([]string, len(g.in.Study.Snapshots))
+	for i, s := range g.in.Study.Snapshots {
+		out[i] = s.Label
+	}
+	return out
 }
 
 func tableFig3(g *Graph) *Table {

@@ -15,6 +15,19 @@
 // compute verbatim as the correctness oracle; any worker count renders
 // byte-identically (TestReportWorkerSweep, under -race).
 //
+// Beyond batch memoization, the graph supports fine-grained
+// invalidation for long-lived owners (the study daemon): the input's
+// two mutable sources — the honeyfarm months and the telescope
+// snapshots — are explicit source nodes (SrcMonths, SrcSnapshots),
+// and Update applies an input mutation and dirties exactly the
+// artifacts that transitively depend on the touched sources. A
+// month-only ingest re-executes the frozen compilation and the
+// temporal figures but never Table II or Figure 3, which depend only
+// on snapshots; per-node execution counters (Runs) make that
+// guarantee testable. Memoized values are immutable once returned, so
+// a reader that obtained an artifact before an Update keeps a fully
+// consistent (if older) value — nothing is mutated in place.
+//
 // Rendering goes through one lowering: every artifact becomes a Table
 // (comment preamble, columns, formatted rows), and WriteTSV/WriteJSON
 // both consume that Table — so the two encodings cannot drift, and the
@@ -48,6 +61,13 @@ const (
 	// artFrozen is the internal node every temporal artifact depends
 	// on: the study's sorted-key compilation (correlate.Freeze).
 	artFrozen ArtifactID = "frozen"
+
+	// SrcMonths and SrcSnapshots are the graph's source nodes: they
+	// compute nothing, but every artifact declares which of the two
+	// mutable input sets it reads, so Update can dirty exactly the
+	// dependent artifacts when a long-lived owner grows the study.
+	SrcMonths    ArtifactID = "src_months"
+	SrcSnapshots ArtifactID = "src_snapshots"
 )
 
 // All returns the seven renderable artifacts in canonical paper order.
@@ -80,72 +100,182 @@ type Params struct {
 
 // Input is everything the artifact graph reads: the correlation
 // tables, the captured windows, and the study parameters. The graph
-// never mutates it.
+// never mutates it; mutation by the owner goes through Graph.Update.
 type Input struct {
 	Study   correlate.Study
 	Windows []*telescope.Window // one per snapshot, index-aligned with Study.Snapshots
 
 	// Frozen optionally supplies an existing memoized sorted-key
 	// compilation (core.Result.Frozen); when nil the graph freezes the
-	// study itself on first temporal-artifact use.
+	// study itself on first temporal-artifact use. Owners that mutate
+	// the input through Update must leave Frozen nil — an external
+	// memo cannot see the graph's invalidations and would go stale.
 	Frozen func() *correlate.Frozen
 
 	Params Params
 }
 
 // node is one artifact job: declared dependencies, a compute function,
-// and a memoized (value, error) pair.
+// and a memoized (value, error) pair with an execution counter.
 type node struct {
 	deps []ArtifactID
 	run  func(g *Graph) (any, error)
 
-	once sync.Once
-	val  any
-	err  error
+	mu    sync.Mutex
+	valid bool
+	val   any
+	err   error
+	runs  int
 }
 
 // Graph is the memoized artifact registry for one study. Build it with
 // New; all methods are safe for concurrent use, and every artifact is
-// computed at most once for the graph's lifetime. Returned values are
+// computed at most once per invalidation epoch. Returned values are
 // shared between callers and must be treated as read-only.
 type Graph struct {
+	inMu  sync.RWMutex // guards in against Update; computes hold the read side
 	in    Input
 	nodes map[ArtifactID]*node
+	rdeps map[ArtifactID][]ArtifactID // reverse dependency edges, fixed at New
 }
 
 // New builds the artifact graph over one study's results.
 func New(in Input) *Graph {
 	g := &Graph{in: in}
+	noop := func(*Graph) (any, error) { return nil, nil }
 	g.nodes = map[ArtifactID]*node{
-		artFrozen: {run: runFrozen},
-		Table1:    {run: runTableI},
-		Table2:    {run: runTableII},
-		Fig3:      {run: runFig3},
-		Fig4:      {deps: []ArtifactID{artFrozen}, run: runFig4},
-		Fig5:      {deps: []ArtifactID{artFrozen}, run: runFig5},
-		Fig6:      {deps: []ArtifactID{artFrozen}, run: runFig6},
-		Fig7Fig8:  {deps: []ArtifactID{artFrozen}, run: runFig7And8},
+		SrcMonths:    {run: noop},
+		SrcSnapshots: {run: noop},
+		artFrozen:    {deps: []ArtifactID{SrcMonths, SrcSnapshots}, run: runFrozen},
+		Table1:       {deps: []ArtifactID{SrcMonths, SrcSnapshots}, run: runTableI},
+		Table2:       {deps: []ArtifactID{SrcSnapshots}, run: runTableII},
+		Fig3:         {deps: []ArtifactID{SrcSnapshots}, run: runFig3},
+		Fig4:         {deps: []ArtifactID{artFrozen}, run: runFig4},
+		Fig5:         {deps: []ArtifactID{artFrozen}, run: runFig5},
+		Fig6:         {deps: []ArtifactID{artFrozen}, run: runFig6},
+		Fig7Fig8:     {deps: []ArtifactID{artFrozen}, run: runFig7And8},
+	}
+	g.rdeps = make(map[ArtifactID][]ArtifactID, len(g.nodes))
+	for id, n := range g.nodes {
+		for _, dep := range n.deps {
+			g.rdeps[dep] = append(g.rdeps[dep], id)
+		}
 	}
 	return g
 }
 
 // get resolves an artifact: dependencies first, then the node's own
 // compute, all memoized. A dependency failure is the node's failure.
+// Node locks nest parent-before-dependency, a consistent topological
+// order over the (acyclic) graph, so concurrent gets cannot deadlock.
 func (g *Graph) get(id ArtifactID) (any, error) {
 	n, ok := g.nodes[id]
 	if !ok {
 		return nil, fmt.Errorf("report: unknown artifact %q", id)
 	}
-	n.once.Do(func() {
-		for _, dep := range n.deps {
-			if _, err := g.get(dep); err != nil {
-				n.err = err
-				return
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.valid {
+		return n.val, n.err
+	}
+	for _, dep := range n.deps {
+		if _, err := g.get(dep); err != nil {
+			n.val, n.err, n.valid = nil, err, true
+			return nil, err
+		}
+	}
+	// Hold the input read-lock across the compute: an Update cannot
+	// swap the input out from under a running job, and the memo set
+	// below therefore matches the pre-Update input — Update's
+	// invalidation, which necessarily runs after this lock releases,
+	// clears it again.
+	g.inMu.RLock()
+	n.val, n.err = n.run(g)
+	g.inMu.RUnlock()
+	n.runs++
+	n.valid = true
+	return n.val, n.err
+}
+
+// Runs reports how many times an artifact's compute job has executed
+// over the graph's lifetime. A memoized hit does not count; an
+// execution after an Update that dirtied the artifact does. Tests use
+// this to prove invalidation is fine-grained (an ingest that touches
+// only months never re-executes Table II or Figure 3).
+func (g *Graph) Runs(id ArtifactID) int {
+	n, ok := g.nodes[id]
+	if !ok {
+		return 0
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.runs
+}
+
+// Update atomically applies mut to the graph's input and invalidates
+// the given source artifacts plus everything that transitively depends
+// on them. It returns the renderable artifacts invalidated, in
+// canonical All() order — the owner's re-render worklist. Values
+// handed out before the Update stay valid for their holders (they are
+// never mutated in place); the next get recomputes.
+//
+// Update is safe for concurrent use with readers, but concurrent
+// Updates must be serialized by the owner (the daemon runs one
+// mutator goroutine).
+func (g *Graph) Update(mut func(*Input), dirty ...ArtifactID) []ArtifactID {
+	g.inMu.Lock()
+	mut(&g.in)
+	g.inMu.Unlock()
+	return g.Invalidate(dirty...)
+}
+
+// Invalidate marks the given artifacts and all transitive dependents
+// dirty, returning the renderable artifacts affected in All() order.
+func (g *Graph) Invalidate(ids ...ArtifactID) []ArtifactID {
+	seen := make(map[ArtifactID]bool)
+	var walk func(ArtifactID)
+	walk = func(id ArtifactID) {
+		if seen[id] {
+			return
+		}
+		seen[id] = true
+		for _, dep := range g.rdeps[id] {
+			walk(dep)
+		}
+	}
+	for _, id := range ids {
+		walk(id)
+	}
+	var out []ArtifactID
+	for _, id := range All() {
+		if !seen[id] {
+			continue
+		}
+		n := g.nodes[id]
+		n.mu.Lock()
+		n.valid = false
+		n.mu.Unlock()
+		out = append(out, id)
+	}
+	// Internal nodes (frozen, sources) are invalidated too, outside
+	// the renderable order.
+	for id := range seen {
+		if n, ok := g.nodes[id]; ok {
+			isRenderable := false
+			for _, r := range All() {
+				if r == id {
+					isRenderable = true
+					break
+				}
+			}
+			if !isRenderable {
+				n.mu.Lock()
+				n.valid = false
+				n.mu.Unlock()
 			}
 		}
-		n.val, n.err = n.run(g)
-	})
-	return n.val, n.err
+	}
+	return out
 }
 
 // workers resolves Params.Workers the way the study scheduler resolves

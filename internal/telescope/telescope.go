@@ -91,21 +91,39 @@ func WithLeafSize(n int) Option { return func(t *Telescope) { t.leafSize = n } }
 // WithWorkers sets the merge parallelism (default: GOMAXPROCS).
 func WithWorkers(n int) Option { return func(t *Telescope) { t.workers = n } }
 
+// WithAnonymizer shares an existing CryptoPAN cache instead of building
+// a private one from the passphrase. The study scheduler uses this to
+// give every per-worker Telescope the study's one shared cache: the
+// anonymization is a pure function of the passphrase, so sharing
+// changes no output, but it stops N workers from re-deriving the same
+// prefix-preserving mappings into N disjoint memos (and keeps
+// Reverse() a single complete deanonymization table for the study).
+// The cache is concurrency-safe; the passphrase argument to New is
+// ignored when this option is given and must correspond to the same
+// key if deanonymized outputs are to line up.
+func WithAnonymizer(c *cryptopan.Cached) Option { return func(t *Telescope) { t.anon = c } }
+
 // New creates a Telescope monitoring the given darkspace, anonymizing
 // with the given passphrase-derived CryptoPAN key.
 func New(darkspace ipaddr.Prefix, anonPassphrase string, opts ...Option) *Telescope {
 	t := &Telescope{
 		darkspace: darkspace,
 		leafSize:  1 << 14,
-		anon:      cryptopan.NewCached(cryptopan.NewFromPassphrase(anonPassphrase)),
 		l1s:       make(map[int]*cryptopan.L1),
 		engines:   make(map[[2]int]*engine.Engine),
 	}
 	for _, o := range opts {
 		o(t)
 	}
+	if t.anon == nil {
+		t.anon = cryptopan.NewCached(cryptopan.NewFromPassphrase(anonPassphrase))
+	}
 	return t
 }
+
+// Anonymizer exposes the telescope's shared CryptoPAN cache, for
+// handing to further Telescopes via WithAnonymizer.
+func (t *Telescope) Anonymizer() *cryptopan.Cached { return t.anon }
 
 // Darkspace returns the monitored prefix.
 func (t *Telescope) Darkspace() ipaddr.Prefix { return t.darkspace }
