@@ -1,11 +1,11 @@
 // Command benchreport measures the window-build hot path — or, with
-// -study, the whole-study scheduler and correlation kernels — and emits
-// (or checks) the committed JSON baselines the perf trajectory is
-// judged against.
+// -study, the whole-study scheduler and correlation kernels; or, with
+// -tripled, the replicated store's load phases — and emits (or checks)
+// the committed JSON baselines the perf trajectory is judged against.
 //
 // Usage:
 //
-//	benchreport [-study] [-out FILE] [-check FILE] [-quick] [-max-regress 0.20]
+//	benchreport [-study|-tripled] [-out FILE] [-check FILE] [-quick] [-max-regress 0.20]
 //
 // Without -study the report is the BENCH_hotpath.json schema:
 // packets/sec, ns/op, and allocs/op for engine window capture, leaf
@@ -39,6 +39,19 @@
 //     same CPU floor (fit_speedup_min_cpus) and annotation policy —
 //     and must render fig7_fig8 byte-identical to the serial oracle,
 //     which is checked unconditionally on every -study run.
+//
+// With -tripled the report is the BENCH_tripled.json schema: the
+// shared loadgen workload run three ways — one server, a 3-node R=2
+// consistent-hash cluster, and the same cluster with one replica
+// blackholed at the halfway barrier — with cells+queries/sec and
+// p50/p95/p99 latency per op kind and phase. Its gates, both required
+// in the baseline (-check fails, not skips, when either is absent):
+//
+//   - replication_overhead (single-node PUT throughput over 3-node,
+//     both measured in the same run, so machine-relative) must stay
+//     under the baseline's replication_overhead_max;
+//   - the blackholed phase must finish every op AND record at least
+//     failovers_min non-primary reads — proof the degraded path ran.
 //
 // The quick -study fixture measures an 8-snapshot study (the paper's
 // realistic 5-snapshot study caps the ideal 4-worker speedup at ~2.5x),
@@ -74,17 +87,22 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/correlate"
+	"repro/internal/faultinject"
 	"repro/internal/hypersparse"
 	"repro/internal/netquant"
 	"repro/internal/radiation"
 	"repro/internal/report"
 	"repro/internal/stats"
 	"repro/internal/telescope"
+	"repro/internal/tripled"
+	"repro/internal/tripled/cluster"
+	"repro/internal/tripled/loadgen"
 )
 
 // Metric is one benchmark's result row.
@@ -93,8 +111,14 @@ type Metric struct {
 	AllocsOp float64 `json:"allocs_op"`
 	BytesOp  float64 `json:"bytes_op"`
 	// ItemsPerSec is packets/sec for window benches, entries/sec for
-	// matrix benches.
+	// matrix benches, cells+queries/sec for tripled load phases.
 	ItemsPerSec float64 `json:"items_per_sec,omitempty"`
+	// Latency percentiles, tripled schema only: the load generator
+	// reports distribution, not just throughput, because failover cost
+	// lives entirely in the tail.
+	P50Ns float64 `json:"p50_ns,omitempty"`
+	P95Ns float64 `json:"p95_ns,omitempty"`
+	P99Ns float64 `json:"p99_ns,omitempty"`
 }
 
 // Report is the BENCH_hotpath.json / BENCH_study.json schema.
@@ -120,7 +144,16 @@ type Report struct {
 	// ReportWorkers=1 serial oracle. Study schema only; same numcpu
 	// caveat as StudySpeedup.
 	FitSpeedup float64 `json:"fit_speedup,omitempty"`
-	Gates      Gates   `json:"gates"`
+	// ReplicationOverhead is the 3-node R=2 cluster's PUT cost over the
+	// single-node baseline (single cells/sec divided by cluster
+	// cells/sec), measured in-process in the same run so it is
+	// machine-relative. Tripled schema only.
+	ReplicationOverhead float64 `json:"replication_overhead,omitempty"`
+	// Failovers counts reads the blackholed-replica phase served from a
+	// non-primary node — proof the failover path actually ran, not just
+	// that the workload finished. Tripled schema only.
+	Failovers int   `json:"failovers,omitempty"`
+	Gates     Gates `json:"gates"`
 	// Seed preserves the pre-refactor measurements this PR started from,
 	// so the trajectory keeps its origin even as the baseline moves.
 	Seed map[string]Metric `json:"seed,omitempty"`
@@ -143,6 +176,14 @@ type Gates struct {
 	// the serial oracle, CPU-floored like the study speedup.
 	FitSpeedupMin     float64 `json:"fit_speedup_min,omitempty"`
 	FitSpeedupMinCPUs int     `json:"fit_speedup_min_cpus,omitempty"`
+	// Tripled cluster gates: how much replication is allowed to cost
+	// (machine-relative, both sides measured in the same run) and how
+	// many failovers the blackholed phase must record for the run to
+	// count as having exercised the degraded path at all. Both are
+	// required in a tripled baseline — compare fails, not skips, when
+	// they are absent, so a truncated baseline cannot pass vacuously.
+	ReplicationOverheadMax float64 `json:"replication_overhead_max,omitempty"`
+	FailoversMin           int     `json:"failovers_min,omitempty"`
 }
 
 func defaultGates() Gates {
@@ -194,17 +235,24 @@ func main() {
 		check      = flag.String("check", "", "compare against this committed baseline JSON and exit non-zero on regression")
 		quick      = flag.Bool("quick", false, "small fixture for CI smoke (2^14-packet windows)")
 		study      = flag.Bool("study", false, "measure the whole-study scheduler and correlation kernels (BENCH_study.json schema) instead of the window hot path")
+		tripled    = flag.Bool("tripled", false, "measure the tripled store single-node vs 3-node-cluster vs blackholed-failover load phases (BENCH_tripled.json schema)")
 		maxRegress = flag.Float64("max-regress", 0.20, "allowed fractional packets/sec regression vs the baseline")
 	)
 	flag.Parse()
 	if *out == "" && *check == "" {
 		*out = "-"
 	}
+	if *study && *tripled {
+		log.Fatal("benchreport: -study and -tripled are separate schemas; pick one")
+	}
 
 	var rep *Report
-	if *study {
+	switch {
+	case *study:
 		rep = measureStudy(*quick)
-	} else {
+	case *tripled:
+		rep = measureTripled(*quick)
+	default:
 		rep = measure(*quick)
 	}
 
@@ -235,6 +283,9 @@ func main() {
 		if *study {
 			fmt.Printf("benchreport: all gates pass against %s (study speedup %.2fx, fit speedup %.2fx on %d CPUs)\n",
 				*check, rep.StudySpeedup, rep.FitSpeedup, rep.NumCPU)
+		} else if *tripled {
+			fmt.Printf("benchreport: all gates pass against %s (replication overhead %.2fx, %d failovers under blackhole)\n",
+				*check, rep.ReplicationOverhead, rep.Failovers)
 		} else {
 			fmt.Printf("benchreport: all gates pass against %s (merge speedup %.2fx)\n", *check, rep.MergeSpeedup)
 		}
@@ -269,8 +320,11 @@ func compare(fresh, base *Report, maxRegress float64) []string {
 	const minGateCPUs = 4
 	if fresh.NumCPU >= minGateCPUs && base.NumCPU < minGateCPUs {
 		regen := "benchreport -out FILE"
-		if fresh.Schema == studySchema {
+		switch fresh.Schema {
+		case studySchema:
 			regen = "benchreport -study -out FILE"
+		case tripledSchema:
+			regen = "benchreport -tripled -out FILE"
 		}
 		errs = append(errs, fmt.Sprintf(
 			"stale baseline: recorded at %d CPUs but this runner has %d (>= %d); "+
@@ -289,7 +343,27 @@ func compare(fresh, base *Report, maxRegress float64) []string {
 			errs = append(errs, fmt.Sprintf("%s: %.1f allocs/op exceeds gate %.0f", name, m.AllocsOp, max))
 		}
 	}
-	if fresh.Schema == studySchema {
+	if fresh.Schema == tripledSchema {
+		// Fail, don't skip, when the baseline lacks the cluster gates: a
+		// BENCH_tripled.json without them would turn this check into a
+		// throughput-only comparison that passes while failover is broken.
+		if g.ReplicationOverheadMax == 0 || g.FailoversMin == 0 {
+			errs = append(errs, fmt.Sprintf(
+				"baseline %q is missing the tripled gates (replication_overhead_max=%v, failovers_min=%v); "+
+					"regenerate it with benchreport -tripled -out FILE",
+				base.Schema, g.ReplicationOverheadMax, g.FailoversMin))
+		} else {
+			if fresh.ReplicationOverhead > g.ReplicationOverheadMax {
+				errs = append(errs, fmt.Sprintf("replication_overhead %.2fx exceeds gate %.2fx",
+					fresh.ReplicationOverhead, g.ReplicationOverheadMax))
+			}
+			if fresh.Failovers < g.FailoversMin {
+				errs = append(errs, fmt.Sprintf(
+					"blackholed phase recorded %d failovers, gate wants >= %d: the degraded path did not run",
+					fresh.Failovers, g.FailoversMin))
+			}
+		}
+	} else if fresh.Schema == studySchema {
 		checkAllocs("correlate_peak", g.CorrelateAllocsMax)
 		checkAllocs("correlate_temporal", g.CorrelateAllocsMax)
 		if fresh.NumCPU >= g.StudySpeedupMinCPUs {
@@ -521,6 +595,142 @@ func capture(b *testing.B, tel *telescope.Telescope, pop *radiation.Population, 
 
 // studySchema marks BENCH_study.json reports.
 const studySchema = "bench_study/v1"
+
+// tripledSchema marks BENCH_tripled.json reports.
+const tripledSchema = "bench_tripled/v1"
+
+// defaultTripledGates: replication at R=2 writes every PUT twice and
+// pays a quorum wait, so ~2-3x PUT overhead vs the single node is the
+// honest in-process cost; 6x leaves timer-noise headroom while still
+// catching a pathological cluster client. The failover floor is 1:
+// the blackholed run must have actually served reads from a
+// non-primary replica, or it measured nothing.
+func defaultTripledGates() Gates {
+	return Gates{
+		ReplicationOverheadMax: 6,
+		FailoversMin:           1,
+	}
+}
+
+// measureTripled runs the loadgen workload three ways — one node, a
+// 3-node R=2 cluster, and the same cluster with one replica blackholed
+// at the halfway barrier — and reports throughput plus latency
+// percentiles for each, the single-vs-cluster PUT overhead, and the
+// failover count from the degraded phase. Any workload error is fatal:
+// with R=2 and one injected fault the cluster is obligated to finish.
+func measureTripled(quick bool) *Report {
+	lcfg := loadgen.Config{
+		Clients: 8,
+		Ops:     8000,
+		Batch:   128,
+		Rows:    100000,
+		Mix:     [3]int{70, 25, 5},
+		TopK:    10,
+		Seed:    1,
+	}
+	if quick {
+		lcfg.Clients = 4
+		lcfg.Ops = 1500
+		lcfg.Batch = 64
+		lcfg.Rows = 20000
+	}
+	rep := &Report{
+		Schema:     tripledSchema,
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Quick:      quick,
+		Metrics:    map[string]Metric{},
+		Gates:      defaultTripledGates(),
+	}
+
+	servers := func(n int) []string {
+		addrs := make([]string, n)
+		for i := range addrs {
+			srv, err := tripled.Serve(tripled.NewStore(), "127.0.0.1:0")
+			if err != nil {
+				log.Fatal(err)
+			}
+			// Servers live until process exit; each phase gets fresh ones so
+			// TOPDEG cost does not compound across phases.
+			addrs[i] = srv.Addr()
+		}
+		return addrs
+	}
+	record := func(phase string, st *loadgen.Stats) {
+		for _, kind := range loadgen.OpKinds {
+			if len(st.Lat[kind]) == 0 {
+				continue
+			}
+			rep.Metrics[fmt.Sprintf("tripled_%s_%s", phase, strings.ToLower(kind))] = Metric{
+				ItemsPerSec: st.PerSec(kind),
+				P50Ns:       float64(st.Percentile(kind, 0.50).Nanoseconds()),
+				P95Ns:       float64(st.Percentile(kind, 0.95).Nanoseconds()),
+				P99Ns:       float64(st.Percentile(kind, 0.99).Nanoseconds()),
+			}
+		}
+	}
+
+	// Phase 1: single node.
+	single := lcfg
+	addr := servers(1)[0]
+	single.Dial = func(int) (tripled.Conn, error) { return tripled.Dial(addr) }
+	st, err := loadgen.Run(single)
+	if err != nil {
+		log.Fatalf("benchreport: single-node load phase: %v", err)
+	}
+	record("single", st)
+
+	// Phase 2: clean 3-node R=2 cluster.
+	clean := lcfg
+	spec := strings.Join(servers(3), ",") + ";replicas=2"
+	clean.Dial = func(int) (tripled.Conn, error) { return cluster.Dial(spec) }
+	st2, err := loadgen.Run(clean)
+	if err != nil {
+		log.Fatalf("benchreport: 3-node load phase: %v", err)
+	}
+	record("cluster3", st2)
+	if c3 := st2.PerSec("PUT"); c3 > 0 {
+		rep.ReplicationOverhead = st.PerSec("PUT") / c3
+	}
+
+	// Phase 3: 3-node cluster with node 1 blackholed at the halfway
+	// barrier — the tail of the run measures detection plus failover.
+	degraded := lcfg
+	var proxies []*faultinject.Proxy
+	var paddrs []string
+	for _, a := range servers(3) {
+		p, err := faultinject.New(a)
+		if err != nil {
+			log.Fatal(err)
+		}
+		proxies = append(proxies, p)
+		paddrs = append(paddrs, p.Addr())
+	}
+	dspec := strings.Join(paddrs, ",") + ";replicas=2;io_timeout=500ms;retries=2"
+	var mu sync.Mutex
+	var cclients []*cluster.Client
+	degraded.Dial = func(int) (tripled.Conn, error) {
+		c, err := cluster.Dial(dspec)
+		if err == nil {
+			mu.Lock()
+			cclients = append(cclients, c)
+			mu.Unlock()
+		}
+		return c, err
+	}
+	degraded.Mid = func() { proxies[1].SetMode(faultinject.Blackhole) }
+	st3, err := loadgen.Run(degraded)
+	if err != nil {
+		log.Fatalf("benchreport: blackholed-failover load phase: %v", err)
+	}
+	record("failover", st3)
+	for _, c := range cclients {
+		rep.Failovers += c.Health().Failovers
+	}
+	return rep
+}
 
 // studyConfig is the measurement scale for -study: the root benchmark
 // harness's study shape at full scale, QuickConfig at -quick. Engine

@@ -1,15 +1,25 @@
 // Command tripled-load is the load generator for the tripled D4M
 // service: M concurrent clients drive a mixed PUT/GET/TOPDEG workload
-// against one server (an in-process one by default, or -addr for a
-// remote target) and report per-op-kind throughput and latency
-// percentiles — the harness for sizing the store's stripe count and the
-// client's batch/pipelining parameters against the ROADMAP's
-// heavy-traffic goal.
+// against one server, an N-node replicated cluster, or a remote target,
+// and report per-op-kind throughput and latency percentiles — the
+// harness for sizing the store's stripe count, the client's
+// batch/pipelining parameters, and the cluster's failover behavior
+// against the ROADMAP's heavy-traffic goal.
 //
 // Usage:
 //
-//	tripled-load [-addr HOST:PORT] [-clients M] [-ops N] [-batch B]
+//	tripled-load [-addr HOST:PORT|CLUSTER-SPEC] [-nodes N] [-replicas R]
+//	             [-chaos MODE] [-clients M] [-ops N] [-batch B]
 //	             [-rows N] [-mix PUT,GET,TOPDEG] [-stripes N] [-seed N]
+//
+// With -nodes > 1 the tool serves N in-process tripled servers and
+// drives them through the consistent-hash cluster client at -replicas
+// copies per row. -chaos puts every node behind a fault-injection
+// proxy and flips node 1 into MODE (blackhole, delay, slowread, reset,
+// drop) at the exact halfway point of every client's script, so the
+// tail of the run measures detection + failover, deterministically
+// placed. -addr accepts a cluster spec ("a,b,c;replicas=2") as well as
+// a single address.
 //
 // With -batch > 1 the PUT share of the workload flows through the
 // pipelined BATCH path (B cells per request); -batch 1 is the classic
@@ -20,183 +30,150 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"math/rand"
-	"sort"
-	"strconv"
 	"strings"
 	"sync"
 	"time"
 
-	"repro/internal/assoc"
+	"repro/internal/faultinject"
 	"repro/internal/tripled"
+	"repro/internal/tripled/cluster"
+	"repro/internal/tripled/loadgen"
 )
-
-var opKinds = []string{"PUT", "GET", "TOPDEG"}
-
-// opStats collects one client's per-kind latency samples. PUT batches
-// record one sample per batch with the cell count, so throughput is
-// still counted in cells.
-type opStats struct {
-	lat   map[string][]time.Duration
-	cells map[string]int
-}
-
-func newOpStats() *opStats {
-	return &opStats{lat: make(map[string][]time.Duration), cells: make(map[string]int)}
-}
-
-func (s *opStats) record(kind string, d time.Duration, n int) {
-	s.lat[kind] = append(s.lat[kind], d)
-	s.cells[kind] += n
-}
-
-func percentile(sorted []time.Duration, p float64) time.Duration {
-	if len(sorted) == 0 {
-		return 0
-	}
-	i := int(p * float64(len(sorted)-1))
-	return sorted[i]
-}
-
-func parseMix(s string) ([3]int, error) {
-	var mix [3]int
-	parts := strings.Split(s, ",")
-	if len(parts) != 3 {
-		return mix, fmt.Errorf("mix wants three comma-separated weights, got %q", s)
-	}
-	total := 0
-	for i, p := range parts {
-		w, err := strconv.Atoi(strings.TrimSpace(p))
-		if err != nil || w < 0 {
-			return mix, fmt.Errorf("bad mix weight %q", p)
-		}
-		mix[i] = w
-		total += w
-	}
-	if total == 0 {
-		return mix, fmt.Errorf("mix weights sum to zero")
-	}
-	return mix, nil
-}
 
 func main() {
 	var (
-		addr    = flag.String("addr", "", "tripled server address (default: serve in-process)")
-		clients = flag.Int("clients", 8, "concurrent client connections")
-		ops     = flag.Int("ops", 5000, "operations per client")
-		batch   = flag.Int("batch", 256, "cells per PUT batch (1 = per-cell round trips)")
-		rows    = flag.Int("rows", 100000, "row keyspace size")
-		mixFlag = flag.String("mix", "70,25,5", "PUT,GET,TOPDEG weights")
-		stripes = flag.Int("stripes", tripled.DefaultStripes, "store stripes for the in-process server")
-		topk    = flag.Int("topk", 10, "k of each TOPDEG query")
-		seed    = flag.Int64("seed", 1, "workload seed")
+		addr     = flag.String("addr", "", "tripled server address or cluster spec (default: serve in-process)")
+		nodes    = flag.Int("nodes", 1, "in-process servers to start (ignored with -addr)")
+		replicas = flag.Int("replicas", cluster.DefaultReplicas, "copies per row when -nodes > 1")
+		chaos    = flag.String("chaos", "", "fault mode injected on node 1 at half-run: blackhole, delay, slowread, reset, drop")
+		clients  = flag.Int("clients", 8, "concurrent client connections")
+		ops      = flag.Int("ops", 5000, "operations per client")
+		batch    = flag.Int("batch", 256, "cells per PUT batch (1 = per-cell round trips)")
+		rows     = flag.Int("rows", 100000, "row keyspace size")
+		mixFlag  = flag.String("mix", "70,25,5", "PUT,GET,TOPDEG weights")
+		stripes  = flag.Int("stripes", tripled.DefaultStripes, "store stripes for in-process servers")
+		topk     = flag.Int("topk", 10, "k of each TOPDEG query")
+		seed     = flag.Int64("seed", 1, "workload seed")
 	)
 	flag.Parse()
-	mix, err := parseMix(*mixFlag)
+	mix, err := loadgen.ParseMix(*mixFlag)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	target := *addr
+	var proxies []*faultinject.Proxy
 	if target == "" {
-		srv, err := tripled.Serve(tripled.NewStoreStripes(*stripes), "127.0.0.1:0")
+		if *nodes < 1 {
+			log.Fatal("tripled-load: -nodes must be >= 1")
+		}
+		var addrs []string
+		for i := 0; i < *nodes; i++ {
+			srv, err := tripled.Serve(tripled.NewStoreStripes(*stripes), "127.0.0.1:0")
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer srv.Close()
+			nodeAddr := srv.Addr()
+			if *chaos != "" {
+				p, err := faultinject.New(nodeAddr)
+				if err != nil {
+					log.Fatal(err)
+				}
+				defer p.Close()
+				proxies = append(proxies, p)
+				nodeAddr = p.Addr()
+			}
+			addrs = append(addrs, nodeAddr)
+		}
+		if *nodes == 1 {
+			target = addrs[0]
+			fmt.Printf("in-process server on %s (%d stripes)\n", target, *stripes)
+		} else {
+			target = fmt.Sprintf("%s;replicas=%d", strings.Join(addrs, ","), *replicas)
+			fmt.Printf("in-process %d-node cluster, %d replicas/row (%d stripes each)\n",
+				*nodes, *replicas, *stripes)
+		}
+		if *chaos != "" {
+			// Bound detection cost so the post-fault tail measures failover,
+			// not five-second default timeouts.
+			target += ";io_timeout=500ms;retries=2"
+		}
+	} else if *chaos != "" {
+		log.Fatal("tripled-load: -chaos needs in-process nodes (drop -addr)")
+	}
+
+	var mode faultinject.Mode
+	if *chaos != "" {
+		if len(proxies) < 2 {
+			log.Fatal("tripled-load: -chaos needs -nodes >= 2 (a 1-node cluster cannot fail over)")
+		}
+		mode, err = faultinject.ParseMode(*chaos)
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer srv.Close()
-		target = srv.Addr()
-		fmt.Printf("in-process server on %s (%d stripes)\n", target, *stripes)
 	}
 
-	total := mix[0] + mix[1] + mix[2]
-	var wg sync.WaitGroup
-	stats := make([]*opStats, *clients)
-	errs := make(chan error, *clients)
-	begin := time.Now()
-	for id := 0; id < *clients; id++ {
-		wg.Add(1)
-		stats[id] = newOpStats()
-		go func(id int, st *opStats) {
-			defer wg.Done()
-			c, err := tripled.Dial(target)
-			if err != nil {
-				errs <- err
-				return
+	// Track cluster clients so the post-run report can sum failovers.
+	var mu sync.Mutex
+	var cclients []*cluster.Client
+	cfg := loadgen.Config{
+		Clients: *clients,
+		Ops:     *ops,
+		Batch:   *batch,
+		Rows:    *rows,
+		Mix:     mix,
+		TopK:    *topk,
+		Seed:    *seed,
+		Dial: func(int) (tripled.Conn, error) {
+			if !cluster.IsClusterSpec(target) {
+				return tripled.Dial(target)
 			}
-			defer c.Close()
-			rng := rand.New(rand.NewSource(*seed + int64(id)))
-			row := func() string { return "ip-" + strconv.Itoa(rng.Intn(*rows)) }
-			pending := make([]tripled.Cell, 0, *batch)
-			flush := func() error {
-				if len(pending) == 0 {
-					return nil
-				}
-				t0 := time.Now()
-				err := c.PutBatch(pending)
-				st.record("PUT", time.Since(t0), len(pending))
-				pending = pending[:0]
-				return err
+			c, err := cluster.Dial(target)
+			if err == nil {
+				mu.Lock()
+				cclients = append(cclients, c)
+				mu.Unlock()
 			}
-			for i := 0; i < *ops; i++ {
-				var err error
-				switch r := rng.Intn(total); {
-				case r < mix[0]:
-					cell := tripled.Cell{Row: row(), Col: "packets", Val: assoc.Num(float64(rng.Intn(1 << 20)))}
-					if *batch <= 1 {
-						t0 := time.Now()
-						err = c.Put(cell.Row, cell.Col, cell.Val)
-						st.record("PUT", time.Since(t0), 1)
-					} else if pending = append(pending, cell); len(pending) == *batch {
-						err = flush()
-					}
-				case r < mix[0]+mix[1]:
-					t0 := time.Now()
-					if _, err = c.Get(row(), "packets"); err == tripled.ErrNotFound {
-						err = nil
-					}
-					st.record("GET", time.Since(t0), 1)
-				default:
-					t0 := time.Now()
-					_, err = c.TopRowsByDegree(*topk)
-					st.record("TOPDEG", time.Since(t0), 1)
-				}
-				if err != nil {
-					errs <- fmt.Errorf("client %d: %w", id, err)
-					return
-				}
-			}
-			if err := flush(); err != nil {
-				errs <- fmt.Errorf("client %d: %w", id, err)
-			}
-		}(id, stats[id])
+			return c, err
+		},
 	}
-	wg.Wait()
-	elapsed := time.Since(begin)
-	close(errs)
-	for err := range errs {
+	if *chaos != "" {
+		cfg.Mid = func() {
+			fmt.Printf("half-run: injecting %v on node 1\n", mode)
+			proxies[1].SetMode(mode)
+		}
+	}
+
+	st, err := loadgen.Run(cfg)
+	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("\n%d clients x %d ops in %v\n\n", *clients, *ops, elapsed.Round(time.Millisecond))
+	fmt.Printf("\n%d clients x %d ops in %v\n\n", *clients, *ops, st.Elapsed.Round(time.Millisecond))
 	fmt.Printf("%-8s %10s %12s %10s %10s %10s\n", "op", "requests", "cells/sec", "p50", "p95", "p99")
-	grandCells := 0
-	for _, kind := range opKinds {
-		var all []time.Duration
-		cells := 0
-		for _, st := range stats {
-			all = append(all, st.lat[kind]...)
-			cells += st.cells[kind]
-		}
-		if len(all) == 0 {
+	grand := 0.0
+	for _, kind := range loadgen.OpKinds {
+		if len(st.Lat[kind]) == 0 {
 			continue
 		}
-		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-		grandCells += cells
+		grand += st.PerSec(kind)
 		fmt.Printf("%-8s %10d %12.0f %10v %10v %10v\n",
-			kind, len(all), float64(cells)/elapsed.Seconds(),
-			percentile(all, 0.50).Round(time.Microsecond),
-			percentile(all, 0.95).Round(time.Microsecond),
-			percentile(all, 0.99).Round(time.Microsecond))
+			kind, len(st.Lat[kind]), st.PerSec(kind),
+			st.Percentile(kind, 0.50).Round(time.Microsecond),
+			st.Percentile(kind, 0.95).Round(time.Microsecond),
+			st.Percentile(kind, 0.99).Round(time.Microsecond))
 	}
-	fmt.Printf("\noverall: %.0f cells+queries/sec\n", float64(grandCells)/elapsed.Seconds())
+	fmt.Printf("\noverall: %.0f cells+queries/sec\n", grand)
+	if len(cclients) > 0 {
+		failovers, down := 0, map[string]bool{}
+		for _, c := range cclients {
+			h := c.Health()
+			failovers += h.Failovers
+			for _, a := range h.Down {
+				down[a] = true
+			}
+		}
+		fmt.Printf("cluster: %d read failovers, %d nodes marked down\n", failovers, len(down))
+	}
 }

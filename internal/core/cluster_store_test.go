@@ -1,0 +1,138 @@
+package core
+
+// cluster_store_test.go proves the replicated store path is a no-op
+// for the science even under failure: a study routed through a 3-node
+// R=2 cluster with one replica silently blackholed mid-run must
+// produce every Table I-II / Fig 3-8 artifact byte-identical to the
+// in-memory study, while the Result records that the run was degraded.
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/report"
+	"repro/internal/tripled"
+)
+
+// renderAllArtifacts serializes every artifact in both encodings — the
+// full byte-parity surface.
+func renderAllArtifacts(t *testing.T, r *Result) string {
+	t.Helper()
+	g := r.Report()
+	var out bytes.Buffer
+	for _, id := range report.All() {
+		fmt.Fprintf(&out, "== %s ==\n", id)
+		if err := report.WriteTSV(&out, g, id); err != nil {
+			t.Fatalf("render %s tsv: %v", id, err)
+		}
+		if err := report.WriteJSON(&out, g, id); err != nil {
+			t.Fatalf("render %s json: %v", id, err)
+		}
+	}
+	return out.String()
+}
+
+func TestClusterStudyBlackholedReplicaMatchesInMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full quick studies")
+	}
+	mem := quickResult(t)
+
+	// Three nodes, each behind a chaos proxy; node 1 silently stops
+	// answering once 50 KB of table traffic have flowed — early in the
+	// study, so most of it runs degraded. The cut point is byte-counted
+	// rather than timed, so where the study is interrupted is stable.
+	var addrs [3]string
+	var proxies [3]*faultinject.Proxy
+	for i := range addrs {
+		srv, err := tripled.Serve(tripled.NewStore(), "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		p, err := faultinject.New(srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+		proxies[i] = p
+		addrs[i] = p.Addr()
+	}
+	proxies[1].BlackholeAfterBytes(50_000)
+
+	cfg := QuickConfig()
+	cfg.StoreAddr = fmt.Sprintf("%s,%s,%s;replicas=2;io_timeout=300ms;retries=2",
+		addrs[0], addrs[1], addrs[2])
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	res, err := p.Run()
+	if err != nil {
+		t.Fatalf("cluster study with blackholed replica: %v", err)
+	}
+	t.Logf("degraded cluster study took %v", time.Since(start))
+
+	// The degradation must be recorded, not hidden.
+	if !res.StoreHealth.Degraded {
+		t.Error("study rode out a blackholed replica but StoreHealth.Degraded is false")
+	}
+	found := false
+	for _, addr := range res.StoreHealth.DownNodes {
+		if addr == addrs[1] {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("StoreHealth.DownNodes = %v, want it to include %s", res.StoreHealth.DownNodes, addrs[1])
+	}
+
+	// And the science must not have noticed: every artifact byte-equal.
+	if got, want := renderAllArtifacts(t, res), renderAllArtifacts(t, mem); got != want {
+		t.Error("artifacts differ between degraded-cluster and in-memory runs")
+	}
+
+	// The in-memory baseline ran clean.
+	if mem.StoreHealth.Degraded || len(mem.StoreHealth.DownNodes) != 0 {
+		t.Errorf("in-memory study reports store health %+v", mem.StoreHealth)
+	}
+}
+
+// TestClusterStudyCleanMatchesInMemory is the no-fault control: the
+// multi-address StoreAddr spec alone must not perturb artifacts.
+func TestClusterStudyCleanMatchesInMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full quick studies")
+	}
+	mem := quickResult(t)
+
+	var addrs [3]string
+	for i := range addrs {
+		srv, err := tripled.Serve(tripled.NewStore(), "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		addrs[i] = srv.Addr()
+	}
+	cfg := QuickConfig()
+	cfg.StoreAddr = fmt.Sprintf("%s,%s,%s;replicas=2", addrs[0], addrs[1], addrs[2])
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StoreHealth.Degraded {
+		t.Errorf("clean cluster run reports degraded: %+v", res.StoreHealth)
+	}
+	if got, want := renderAllArtifacts(t, res), renderAllArtifacts(t, mem); got != want {
+		t.Error("artifacts differ between clean-cluster and in-memory runs")
+	}
+}

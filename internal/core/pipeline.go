@@ -235,6 +235,13 @@ type Result struct {
 	Windows []*telescope.Window // one anonymized window per snapshot
 	Farm    *honeyfarm.Honeyfarm
 
+	// StoreHealth records cluster degradation observed during a
+	// store-backed study: which replicas were lost and how many reads
+	// failed over. Artifacts stay byte-identical through a tolerated
+	// failure (that is the cluster's contract); this field is how the
+	// study reports that the run leaned on it.
+	StoreHealth StoreHealth
+
 	frozenOnce sync.Once
 	frozen     *correlate.Frozen
 
@@ -313,12 +320,13 @@ func (p *Pipeline) RunContext(ctx context.Context) (*Result, error) {
 func (p *Pipeline) runSerial(ctx context.Context) (*Result, error) {
 	res := &Result{Config: p.cfg, Farm: p.farm}
 
-	var db *tripled.Client
+	var db tripled.Conn
 	if p.cfg.StoreAddr != "" {
-		var err error
-		if db, err = tripled.Dial(p.cfg.StoreAddr); err != nil {
+		conn, err := DialStore(p.cfg.StoreAddr)
+		if err != nil {
 			return nil, fmt.Errorf("core: store %s: %w", p.cfg.StoreAddr, err)
 		}
+		db = conn
 		defer db.Close()
 	}
 
@@ -338,6 +346,11 @@ func (p *Pipeline) runSerial(ctx context.Context) (*Result, error) {
 		res.Windows = append(res.Windows, w)
 		res.Study.Snapshots = append(res.Study.Snapshots, snap)
 	}
+	if h, ok := storeHealthOf(db); ok {
+		agg := &storeHealthAgg{}
+		agg.add(h)
+		res.StoreHealth = agg.result()
+	}
 	return res, nil
 }
 
@@ -349,7 +362,7 @@ func (p *Pipeline) runSerial(ctx context.Context) (*Result, error) {
 // re-published idempotently (the recovery path relies on this). Not
 // safe for concurrent use; the daemon serializes ingest on one
 // goroutine, as runSerial does.
-func (p *Pipeline) IngestMonth(db *tripled.Client, m int) (correlate.MonthData, error) {
+func (p *Pipeline) IngestMonth(db tripled.Conn, m int) (correlate.MonthData, error) {
 	start := p.cfg.StudyStart.AddDate(0, m, 0)
 	label := start.Format("2006-01")
 	mw := p.farm.Month(label)
@@ -374,7 +387,7 @@ func (p *Pipeline) IngestMonth(db *tripled.Client, m int) (correlate.MonthData, 
 // source table, exactly as one iteration of the serial batch loop. db
 // may be nil for an in-memory study. Not safe for concurrent use (one
 // telescope runs one capture at a time).
-func (p *Pipeline) IngestSnapshot(ctx context.Context, db *tripled.Client, ts time.Time) (*telescope.Window, correlate.Snapshot, error) {
+func (p *Pipeline) IngestSnapshot(ctx context.Context, db tripled.Conn, ts time.Time) (*telescope.Window, correlate.Snapshot, error) {
 	monthFrac := p.cfg.monthOf(ts)
 	stream := p.pop.TelescopeStream(monthFrac, ts)
 	w, err := p.tel.CaptureWindowEngine(ctx, stream, p.cfg.NV, p.cfg.Workers, p.cfg.Batch)

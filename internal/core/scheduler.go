@@ -54,8 +54,9 @@ func (p *Pipeline) runParallel(ctx context.Context, workers int) (*Result, error
 	windows := make([]*telescope.Window, nSnaps)
 	snapData := make([]correlate.Snapshot, nSnaps)
 
+	health := &storeHealthAgg{}
 	err := pool.EachWorker(ctx, workers, nSnaps+nMonths,
-		func() *studyWorker { return &studyWorker{p: p} },
+		func() *studyWorker { return &studyWorker{p: p, health: health} },
 		(*studyWorker).close,
 		func(ctx context.Context, w *studyWorker, job int) error {
 			var err error
@@ -82,6 +83,7 @@ func (p *Pipeline) runParallel(ctx context.Context, workers int) (*Result, error
 	res.Study.Months = monthData
 	res.Windows = windows
 	res.Study.Snapshots = snapData
+	res.StoreHealth = health.result()
 	return res, nil
 }
 
@@ -89,30 +91,35 @@ func (p *Pipeline) runParallel(ctx context.Context, workers int) (*Result, error
 // telescope of its own (created on the first snapshot job) and a
 // tripled client of its own (dialed on first store use).
 type studyWorker struct {
-	p   *Pipeline
-	tel *telescope.Telescope
-	db  *tripled.Client
-	dbE error // sticky dial failure
+	p      *Pipeline
+	tel    *telescope.Telescope
+	db     tripled.Conn
+	dbE    error // sticky dial failure
+	health *storeHealthAgg
 }
 
 func (w *studyWorker) close() {
 	if w.db != nil {
+		if h, ok := storeHealthOf(w.db); ok {
+			w.health.add(h)
+		}
 		w.db.Close()
 	}
 }
 
 // client returns the worker's tripled connection, dialing on first use;
 // it returns (nil, nil) when the study runs without a store.
-func (w *studyWorker) client() (*tripled.Client, error) {
+func (w *studyWorker) client() (tripled.Conn, error) {
 	if w.p.cfg.StoreAddr == "" || w.dbE != nil {
 		return nil, w.dbE
 	}
 	if w.db == nil {
-		w.db, w.dbE = tripled.Dial(w.p.cfg.StoreAddr)
-		if w.dbE != nil {
-			w.dbE = fmt.Errorf("core: store %s: %w", w.p.cfg.StoreAddr, w.dbE)
+		db, err := DialStore(w.p.cfg.StoreAddr)
+		if err != nil {
+			w.dbE = fmt.Errorf("core: store %s: %w", w.p.cfg.StoreAddr, err)
 			return nil, w.dbE
 		}
+		w.db = db
 	}
 	return w.db, nil
 }

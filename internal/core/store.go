@@ -1,0 +1,88 @@
+package core
+
+// store.go routes Config.StoreAddr to the right transport: one
+// address dials the classic single-connection client, a multi-address
+// spec ("a,b,c;replicas=2") builds the replicated consistent-hash
+// cluster client. Both satisfy tripled.Conn, so the pipeline,
+// scheduler, and daemon are transport-blind — and studies that ride
+// out a replica failure record the degradation on the Result instead
+// of hiding it.
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/tripled"
+	"repro/internal/tripled/cluster"
+)
+
+// DialStore opens the store connection named by a Config.StoreAddr
+// spec. The error path returns an explicit nil interface, so callers'
+// `db != nil` checks stay honest.
+func DialStore(spec string) (tripled.Conn, error) {
+	if cluster.IsClusterSpec(spec) {
+		c, err := cluster.Dial(spec)
+		if err != nil {
+			return nil, err
+		}
+		return c, nil
+	}
+	c, err := tripled.Dial(spec)
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// StoreHealth is the degraded-mode accounting of a store-backed study:
+// the fail-stop cluster view accumulated across every connection the
+// study opened. The zero value means a healthy (or storeless /
+// single-server) run.
+type StoreHealth struct {
+	Degraded  bool     // at least one replica was lost mid-study
+	DownNodes []string // addresses marked down, sorted, deduplicated
+	Failovers int      // reads served by a non-primary replica
+}
+
+// storeHealthOf extracts the cluster view from a store connection;
+// single-server connections have none.
+func storeHealthOf(db tripled.Conn) (cluster.Health, bool) {
+	if cc, ok := db.(*cluster.Client); ok {
+		return cc.Health(), true
+	}
+	return cluster.Health{}, false
+}
+
+// storeHealthAgg merges per-worker cluster views into one StoreHealth:
+// each parallel study worker dials its own client (the client is not
+// concurrency-safe), so each holds its own fail-stop view, and the
+// study's verdict is their union.
+type storeHealthAgg struct {
+	mu        sync.Mutex
+	down      map[string]bool
+	failovers int
+}
+
+func (a *storeHealthAgg) add(h cluster.Health) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.down == nil {
+		a.down = make(map[string]bool)
+	}
+	for _, addr := range h.Down {
+		a.down[addr] = true
+	}
+	a.failovers += h.Failovers
+}
+
+func (a *storeHealthAgg) result() StoreHealth {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := StoreHealth{Failovers: a.failovers}
+	for addr := range a.down {
+		out.DownNodes = append(out.DownNodes, addr)
+	}
+	sort.Strings(out.DownNodes)
+	out.Degraded = len(out.DownNodes) > 0
+	return out
+}

@@ -47,6 +47,7 @@ import (
 	"repro/internal/report"
 	"repro/internal/telescope"
 	"repro/internal/tripled"
+	"repro/internal/tripled/cluster"
 )
 
 // Ledger row prefixes in the tripled store. A ledger row is written
@@ -86,7 +87,7 @@ type Daemon struct {
 	cfg core.Config
 	p   *core.Pipeline
 	g   *report.Graph
-	db  *tripled.Client // nil when cfg.StoreAddr is empty
+	db  tripled.Conn // nil when storeless, or while the store is unreachable
 
 	// mu serializes all mutation: ingest, recompute, re-render,
 	// publish. One mutator at a time is the pipeline's contract (one
@@ -101,6 +102,59 @@ type Daemon struct {
 
 	rendered atomic.Pointer[Rendered]
 	draining atomic.Bool
+
+	// store is the lock-free health view served by /healthz and
+	// /status: a daemon configured with a store that cannot reach it
+	// reports degraded and rejects ingest with 503 instead of dying,
+	// while a background loop keeps redialing with backoff (see
+	// reconnectLoop). A cluster-backed daemon that lost a replica but
+	// kept quorum also reports degraded — still ingesting, but leaning
+	// on replication.
+	store     atomic.Pointer[StoreInfo]
+	stopC     chan struct{} // closes to stop the reconnect loop
+	connWG    sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// Store states reported by StoreInfo.State.
+const (
+	StoreNone     = "none"     // no store configured
+	StoreOK       = "ok"       // connected, all members healthy
+	StoreDegraded = "degraded" // unreachable at startup, or a cluster member down
+)
+
+// StoreInfo is the externally visible store health.
+type StoreInfo struct {
+	State string   `json:"state"`
+	Down  []string `json:"down,omitempty"`  // cluster members lost mid-run
+	Err   string   `json:"error,omitempty"` // last failure while disconnected
+}
+
+// StoreState returns the current store health view. Never nil.
+func (d *Daemon) StoreState() *StoreInfo { return d.store.Load() }
+
+// refreshStoreLocked recomputes the published store view; dialErr
+// carries the most recent failure while disconnected.
+func (d *Daemon) refreshStoreLocked(dialErr error) {
+	info := &StoreInfo{State: StoreNone}
+	if d.cfg.StoreAddr != "" {
+		switch {
+		case d.db == nil:
+			info.State = StoreDegraded
+			if dialErr != nil {
+				info.Err = dialErr.Error()
+			}
+		default:
+			info.State = StoreOK
+			if cc, ok := d.db.(*cluster.Client); ok {
+				if h := cc.Health(); h.Degraded() {
+					info.State = StoreDegraded
+					info.Down = h.Down
+				}
+			}
+		}
+	}
+	d.store.Store(info)
 }
 
 // New builds the resident daemon: a pipeline in resident mode (no
@@ -129,30 +183,96 @@ func New(cfg core.Config) (*Daemon, error) {
 			Workers:        cfg.ReportWorkers,
 		},
 	})
-	if cfg.StoreAddr != "" {
-		if d.db, err = tripled.Dial(cfg.StoreAddr); err != nil {
-			return nil, fmt.Errorf("daemon: store %s: %w", cfg.StoreAddr, err)
-		}
-	}
+	d.stopC = make(chan struct{})
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if d.db != nil {
-		if err := d.recoverLocked(); err != nil {
-			d.db.Close()
-			return nil, err
+	var dialErr error
+	if cfg.StoreAddr != "" {
+		if db, derr := core.DialStore(cfg.StoreAddr); derr != nil {
+			dialErr = derr
+		} else {
+			d.db = db
+			if rerr := d.recoverLocked(); rerr != nil {
+				db.Close()
+				d.db = nil
+				if !tripled.Retryable(rerr) {
+					// The store answered and refused (corrupt ledger, protocol
+					// mismatch): redialing cannot fix it, fail construction.
+					return nil, rerr
+				}
+				// Dialed but died mid-recovery: same as unreachable; the
+				// reconnect loop replays the ledger once it answers.
+				dialErr = rerr
+			}
+		}
+		if d.db == nil {
+			// Degraded start: serve the (empty) study, report degraded,
+			// keep redialing with backoff instead of dying.
+			d.connWG.Add(1)
+			go d.reconnectLoop()
 		}
 	}
+	d.refreshStoreLocked(dialErr)
 	// Publish the initial snapshot (recovered state, or the empty
 	// study's 503-bearing artifacts) so pollers always find one.
 	d.publishLocked(report.All())
 	return d, nil
 }
 
-// Close releases the store connection. HTTP lifecycles go through
-// Shutdown in http.go, which drains first.
+// reconnectLoop keeps redialing a store that was unreachable at
+// startup, with bounded exponential backoff, and replays the ledger
+// once it answers. It exits on success, on a non-retryable recovery
+// failure (left visible in the store view), or at Close.
+func (d *Daemon) reconnectLoop() {
+	defer d.connWG.Done()
+	backoff := 100 * time.Millisecond
+	const maxBackoff = 5 * time.Second
+	for {
+		select {
+		case <-d.stopC:
+			return
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+		db, err := core.DialStore(d.cfg.StoreAddr)
+		if err == nil {
+			d.mu.Lock()
+			d.db = db
+			if err = d.recoverLocked(); err == nil {
+				d.refreshStoreLocked(nil)
+				d.publishLocked(report.All())
+				d.mu.Unlock()
+				return
+			}
+			d.db = nil
+			d.mu.Unlock()
+			db.Close()
+			if !tripled.Retryable(err) {
+				d.mu.Lock()
+				d.refreshStoreLocked(err)
+				d.mu.Unlock()
+				return
+			}
+		}
+		d.mu.Lock()
+		d.refreshStoreLocked(err)
+		d.mu.Unlock()
+	}
+}
+
+// Close stops the reconnect loop and releases the store connection.
+// HTTP lifecycles go through Shutdown in http.go, which drains first.
 func (d *Daemon) Close() error {
+	d.closeOnce.Do(func() { close(d.stopC) })
+	d.connWG.Wait()
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if d.db != nil {
-		return d.db.Close()
+		err := d.db.Close()
+		d.db = nil
+		return err
 	}
 	return nil
 }
@@ -186,6 +306,9 @@ func (d *Daemon) IngestMonth(m int) error {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.cfg.StoreAddr != "" && d.db == nil {
+		return errStoreDegraded
+	}
 	if d.haveM[m] {
 		return nil
 	}
@@ -229,6 +352,9 @@ func (d *Daemon) IngestSnapshot(ts time.Time) error {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.cfg.StoreAddr != "" && d.db == nil {
+		return errStoreDegraded
+	}
 	if d.haveS[ts.UTC().Format("20060102-150405")] {
 		return nil
 	}
@@ -243,6 +369,12 @@ func (d *Daemon) IngestSnapshot(ts time.Time) error {
 // being served from the last published snapshot until the listener
 // closes.
 var errDraining = errors.New("daemon: draining, ingest rejected")
+
+// errStoreDegraded rejects ingest while a configured store is
+// unreachable: accepting data that cannot be made durable would break
+// the ledger's "presence implies completeness" invariant. Served as
+// 503 — retry once /healthz reports the store ok again.
+var errStoreDegraded = errors.New("daemon: store degraded (unreachable), ingest deferred")
 
 func (d *Daemon) ingestSnapshotLocked(ts time.Time) error {
 	w, snap, err := d.p.IngestSnapshot(context.Background(), d.db, ts)
@@ -276,6 +408,9 @@ func (d *Daemon) syncLocked(dirty ...report.ArtifactID) {
 		in.Windows = append([]*telescope.Window(nil), d.windows...)
 	}, dirty...)
 	d.publishLocked(invalidated)
+	// The ingest may have watched a cluster replica die; keep the
+	// published store view current.
+	d.refreshStoreLocked(nil)
 }
 
 // publishLocked renders the given artifacts and swaps in a new

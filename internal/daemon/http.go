@@ -117,6 +117,7 @@ func (d *Daemon) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	snap := d.Snapshot()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":    "ok",
+		"store":     d.StoreState().State,
 		"draining":  d.draining.Load(),
 		"seq":       snap.Seq,
 		"months":    snap.Months,
@@ -144,7 +145,8 @@ func (d *Daemon) handleStatus(w http.ResponseWriter, r *http.Request) {
 		"snapshots":    snap.Snapshots,
 		"draining":     d.draining.Load(),
 		"artifacts":    arts,
-		"store_backed": d.db != nil,
+		"store_backed": d.cfg.StoreAddr != "",
+		"store":        d.StoreState(),
 	})
 }
 
@@ -242,11 +244,12 @@ func (d *Daemon) handleIngestSnapshot(w http.ResponseWriter, r *http.Request) {
 	d.ingestReply(w)
 }
 
-// ingestStatus maps mutator errors to HTTP: draining is 503 (retry
-// against the next instance), everything else is a 400-class request
+// ingestStatus maps mutator errors to HTTP: draining and a degraded
+// store are 503 (retry later — against the next instance, or once the
+// reconnect loop lands), everything else is a 400-class request
 // problem.
 func ingestStatus(err error) int {
-	if err == errDraining {
+	if err == errDraining || err == errStoreDegraded {
 		return http.StatusServiceUnavailable
 	}
 	return http.StatusBadRequest

@@ -130,14 +130,14 @@ func MonthRowPrefix(label string) string { return "hf/" + label + "/" }
 
 // Publish writes the month table to a tripled server under
 // MonthRowPrefix, via the client's pipelined batch path.
-func (m *MonthWindow) Publish(c *tripled.Client) error {
+func (m *MonthWindow) Publish(c tripled.Conn) error {
 	return c.PublishAssoc(MonthRowPrefix(m.Label), m.Table, PublishBatch)
 }
 
 // FetchMonthTable reads a published month table back from a tripled
 // server. The result is row/col/value identical to the table that was
 // published.
-func FetchMonthTable(c *tripled.Client, label string) (*assoc.Assoc, error) {
+func FetchMonthTable(c tripled.Conn, label string) (*assoc.Assoc, error) {
 	return c.FetchAssoc(MonthRowPrefix(label), 512)
 }
 

@@ -16,6 +16,7 @@ package scenario
 //	  - windows: {max_dropped_frac: 0.01}
 //	  - golden: {artifact: table2, file: ../internal/report/testdata/table2.tsv}
 //	  - store_parity: {artifacts: [table2, fig4]}
+//	  - store_health: {degraded: true}
 //
 // Numeric comparisons accept equals (exact), value+tol (absolute
 // tolerance), value+tol_frac (relative tolerance), and min/max bounds;
@@ -198,6 +199,8 @@ func decodeAssertion(kind string, m map[string]any) (Assertion, error) {
 		return decodeGolden(m)
 	case "store_parity":
 		return decodeStoreParity(m)
+	case "store_health":
+		return decodeStoreHealth(m)
 	default:
 		return Assertion{}, fmt.Errorf("unknown assertion kind %q", kind)
 	}
@@ -542,5 +545,38 @@ func decodeStoreParity(m map[string]any) (Assertion, error) {
 		}
 		return Check{Assertion: "store_parity", Pass: true,
 			Detail: fmt.Sprintf("%d artifacts byte-identical across store modes", len(ids))}
+	}}, nil
+}
+
+// decodeStoreHealth asserts the run's recorded store health — the
+// failover scenario uses {degraded: true} to prove the injected
+// replica loss actually fired (a parity pass with a fault that never
+// landed would test nothing).
+func decodeStoreHealth(m map[string]any) (Assertion, error) {
+	v, ok := m["degraded"]
+	if !ok {
+		return Assertion{}, fmt.Errorf("degraded (true/false) is required")
+	}
+	want, ok := v.(bool)
+	if !ok {
+		return Assertion{}, fmt.Errorf("degraded must be a bool, got %v", v)
+	}
+	for k := range m {
+		if k != "degraded" {
+			return Assertion{}, fmt.Errorf("unknown parameter %q", k)
+		}
+	}
+	return Assertion{Kind: "store_health", run: func(e *runEnv) Check {
+		h := e.res.StoreHealth
+		if h.Degraded != want {
+			return Check{Assertion: "store_health",
+				Detail: fmt.Sprintf("degraded = %v (down: %v), want %v", h.Degraded, h.DownNodes, want)}
+		}
+		detail := "store ran clean"
+		if want {
+			detail = fmt.Sprintf("store degraded as injected (down: %d node(s), %d failovers)",
+				len(h.DownNodes), h.Failovers)
+		}
+		return Check{Assertion: "store_health", Pass: true, Detail: detail}
 	}}, nil
 }

@@ -4,9 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/pool"
 	"repro/internal/tripled"
 )
@@ -46,18 +48,44 @@ func (r *Result) FailedChecks() []Check {
 }
 
 // execute runs one configuration through the full pipeline, optionally
-// routed through an in-process tripled store (the same service the
-// production path dials over TCP, bound to a loopback port for the
-// scenario's lifetime).
-func execute(ctx context.Context, cfg core.Config, store bool) (*core.Result, error) {
-	if store {
+// routed through an in-process tripled store or a 3-node replicated
+// cluster (the same services the production path dials over TCP, bound
+// to loopback ports for the scenario's lifetime). chaosBytes > 0
+// blackholes cluster node 1 after that much table traffic — the
+// deterministic mid-study replica loss the failover scenario injects.
+func execute(ctx context.Context, cfg core.Config, store StoreMode, chaosBytes int64) (*core.Result, error) {
+	switch store {
+	case StoreTripled:
 		srv, err := tripled.Serve(tripled.NewStore(), "127.0.0.1:0")
 		if err != nil {
 			return nil, fmt.Errorf("scenario: start store: %w", err)
 		}
 		defer srv.Close()
 		cfg.StoreAddr = srv.Addr()
-	} else {
+	case StoreCluster:
+		addrs := make([]string, 3)
+		for i := range addrs {
+			srv, err := tripled.Serve(tripled.NewStore(), "127.0.0.1:0")
+			if err != nil {
+				return nil, fmt.Errorf("scenario: start cluster node: %w", err)
+			}
+			defer srv.Close()
+			addrs[i] = srv.Addr()
+		}
+		cfg.StoreAddr = strings.Join(addrs, ",") + ";replicas=2"
+		if chaosBytes > 0 {
+			p, err := faultinject.New(addrs[1])
+			if err != nil {
+				return nil, fmt.Errorf("scenario: start chaos proxy: %w", err)
+			}
+			defer p.Close()
+			p.BlackholeAfterBytes(chaosBytes)
+			addrs[1] = p.Addr()
+			// Short detection budget: the lost replica must cost seconds,
+			// not the default five-second timeout per retry.
+			cfg.StoreAddr = strings.Join(addrs, ",") + ";replicas=2;io_timeout=300ms;retries=2"
+		}
+	default:
 		cfg.StoreAddr = ""
 	}
 	p, err := core.New(cfg)
@@ -74,7 +102,7 @@ func Run(ctx context.Context, sc *Scenario) *Result {
 	out := &Result{Scenario: sc}
 	defer func() { out.Elapsed = time.Since(start) }()
 
-	res, err := execute(ctx, sc.Config, sc.Store)
+	res, err := execute(ctx, sc.Config, sc.Store, sc.ChaosBlackholeBytes)
 	if err != nil {
 		out.Err = err
 		return out
@@ -87,8 +115,15 @@ func Run(ctx context.Context, sc *Scenario) *Result {
 	)
 	env.rerun = func() (*core.Result, error) {
 		// Memoized: several parity assertions share one opposite-mode run.
+		// The parity reference for any store-backed mode (including a
+		// chaos-degraded cluster) is the pure in-memory study; a memory
+		// scenario checks against the single-store path.
 		if !reran {
-			other, otherErr = execute(ctx, sc.Config, !sc.Store)
+			opposite := StoreMemory
+			if sc.Store == StoreMemory {
+				opposite = StoreTripled
+			}
+			other, otherErr = execute(ctx, sc.Config, opposite, 0)
 			reran = true
 		}
 		return other, otherErr

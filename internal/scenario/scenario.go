@@ -23,6 +23,19 @@ import (
 	"repro/internal/ipaddr"
 )
 
+// StoreMode selects how a scenario's study reaches its D4M tables.
+type StoreMode string
+
+const (
+	// StoreMemory runs the pure in-process path (no store service).
+	StoreMemory StoreMode = "memory"
+	// StoreTripled routes tables through one in-process tripled server.
+	StoreTripled StoreMode = "tripled"
+	// StoreCluster routes tables through a 3-node R=2 consistent-hash
+	// cluster of in-process servers.
+	StoreCluster StoreMode = "cluster"
+)
+
 // Scenario is one executable workload: a named pipeline configuration
 // and its expected-result assertions.
 type Scenario struct {
@@ -30,8 +43,12 @@ type Scenario struct {
 	Case        string // e2e-cases Case ID (Z000xx) this file covers
 	Description string
 	Config      core.Config
-	Store       bool // run through an in-process tripled store
-	Assertions  []Assertion
+	Store       StoreMode
+	// ChaosBlackholeBytes, with StoreCluster, silently blackholes one
+	// replica after this many bytes of table traffic have flowed through
+	// it — a byte-counted (so deterministic) mid-study replica loss.
+	ChaosBlackholeBytes int64
+	Assertions          []Assertion
 
 	// Path is the source file, for error messages and for resolving
 	// golden-artifact references relative to the scenario.
@@ -76,7 +93,7 @@ func Load(path string) (*Scenario, error) {
 			if !ok {
 				return nil, schemaErrf(path, "config must be a mapping")
 			}
-			sc.Config, sc.Store, err = decodeConfig(m, path)
+			sc.Config, sc.Store, sc.ChaosBlackholeBytes, err = decodeConfig(m, path)
 			if err != nil {
 				return nil, err
 			}
@@ -145,9 +162,10 @@ func LoadDir(dir string) ([]*Scenario, error) {
 // decodeConfig maps the config block onto core.Config, starting from
 // the named scale preset. Every key is checked; unknown keys are
 // schema errors so a typo cannot silently run the wrong workload.
-func decodeConfig(m map[string]any, path string) (core.Config, bool, error) {
+func decodeConfig(m map[string]any, path string) (core.Config, StoreMode, int64, error) {
 	cfg := core.QuickConfig()
-	store := false
+	store := StoreMemory
+	var chaosBytes int64
 	if v, ok := m["scale"]; ok {
 		switch v {
 		case "quick":
@@ -155,7 +173,7 @@ func decodeConfig(m map[string]any, path string) (core.Config, bool, error) {
 		case "default":
 			cfg = core.DefaultConfig()
 		default:
-			return cfg, false, schemaErrf(path, "config.scale must be quick or default, got %v", v)
+			return cfg, store, 0, schemaErrf(path, "config.scale must be quick or default, got %v", v)
 		}
 	}
 	for key, v := range m {
@@ -194,11 +212,17 @@ func decodeConfig(m map[string]any, path string) (core.Config, bool, error) {
 		case "store":
 			switch v {
 			case "memory":
-				store = false
+				store = StoreMemory
 			case "tripled":
-				store = true
+				store = StoreTripled
+			case "cluster":
+				store = StoreCluster
 			default:
-				err = fmt.Errorf("must be memory or tripled, got %v", v)
+				err = fmt.Errorf("must be memory, tripled, or cluster, got %v", v)
+			}
+		case "chaos_blackhole_bytes":
+			if err = setInt64(&chaosBytes, v); err == nil && chaosBytes <= 0 {
+				err = fmt.Errorf("must be > 0, got %v", v)
 			}
 		case "snapshot_months":
 			var fracs []float64
@@ -221,13 +245,17 @@ func decodeConfig(m map[string]any, path string) (core.Config, bool, error) {
 				err = decodeRadiation(sub, &cfg)
 			}
 		default:
-			return cfg, false, schemaErrf(path, "unknown config key %q", key)
+			return cfg, store, 0, schemaErrf(path, "unknown config key %q", key)
 		}
 		if err != nil {
-			return cfg, false, schemaErrf(path, "config.%s: %v", key, err)
+			return cfg, store, 0, schemaErrf(path, "config.%s: %v", key, err)
 		}
 	}
-	return cfg, store, nil
+	if chaosBytes > 0 && store != StoreCluster {
+		return cfg, store, 0, schemaErrf(path,
+			"config.chaos_blackhole_bytes needs store: cluster (a single store has no replica to lose)")
+	}
+	return cfg, store, chaosBytes, nil
 }
 
 func decodeRadiation(m map[string]any, cfg *core.Config) error {

@@ -276,12 +276,12 @@ const PublishBatch = 1024
 // writes it to a tripled server under SnapshotRowPrefix — the paper's
 // "reduced results are converted to D4M associative arrays" boundary,
 // with the database substrate standing in for Accumulo.
-func (t *Telescope) PublishSourceTable(c *tripled.Client, label string, w *Window) error {
+func (t *Telescope) PublishSourceTable(c tripled.Conn, label string, w *Window) error {
 	return c.PublishAssoc(SnapshotRowPrefix(label), t.SourceTable(w), PublishBatch)
 }
 
 // FetchSourceTable reads a published snapshot source table back from a
 // tripled server.
-func FetchSourceTable(c *tripled.Client, label string) (*assoc.Assoc, error) {
+func FetchSourceTable(c tripled.Conn, label string) (*assoc.Assoc, error) {
 	return c.FetchAssoc(SnapshotRowPrefix(label), 512)
 }

@@ -2,13 +2,69 @@ package tripled
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"net"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/assoc"
 )
+
+// Transport defaults. A dial always carries a deadline — a blackholed
+// server (SYN silently dropped) must fail the connect attempt, not
+// hang pipeline setup forever. Per-operation I/O deadlines default off
+// for the plain client (a single server may legitimately take long on
+// a huge scan); the cluster transport always sets one.
+const (
+	DefaultDialTimeout = 5 * time.Second
+)
+
+// DialOption configures a client connection.
+type DialOption func(*dialConfig)
+
+type dialConfig struct {
+	dialTimeout time.Duration
+	ioTimeout   time.Duration
+}
+
+// WithDialTimeout bounds the TCP connect. Zero or negative restores
+// DefaultDialTimeout; there is deliberately no way to dial unbounded.
+func WithDialTimeout(d time.Duration) DialOption {
+	return func(c *dialConfig) { c.dialTimeout = d }
+}
+
+// WithIOTimeout arms a deadline on every read and write of the
+// connection, so a server that accepts and then goes silent (blackhole,
+// stalled disk, half-open connection) surfaces a retryable timeout
+// instead of wedging the caller. Zero disables.
+func WithIOTimeout(d time.Duration) DialOption {
+	return func(c *dialConfig) { c.ioTimeout = d }
+}
+
+// deadlineConn arms per-call read/write deadlines on a net.Conn. The
+// bufio layers above it never see deadlines directly — every Read and
+// Write is freshly armed, so long multi-block responses stay alive as
+// long as bytes keep flowing.
+type deadlineConn struct {
+	net.Conn
+	timeout time.Duration
+}
+
+func (c *deadlineConn) Read(p []byte) (int, error) {
+	if err := c.SetReadDeadline(time.Now().Add(c.timeout)); err != nil {
+		return 0, err
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *deadlineConn) Write(p []byte) (int, error) {
+	if err := c.SetWriteDeadline(time.Now().Add(c.timeout)); err != nil {
+		return 0, err
+	}
+	return c.Conn.Write(p)
+}
 
 // Client is a connection to a tripled server. Not safe for concurrent
 // use; open one client per goroutine (the server handles each
@@ -19,15 +75,34 @@ type Client struct {
 	w    *bufio.Writer
 }
 
-// Dial connects to a tripled server.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, err
+// Dial connects to a tripled server with DefaultDialTimeout.
+func Dial(addr string, opts ...DialOption) (*Client, error) {
+	return DialContext(context.Background(), addr, opts...)
+}
+
+// DialContext connects to a tripled server. The context bounds the
+// connect attempt together with the (always-armed) dial timeout;
+// cancel it to abandon a dial early.
+func DialContext(ctx context.Context, addr string, opts ...DialOption) (*Client, error) {
+	cfg := dialConfig{dialTimeout: DefaultDialTimeout}
+	for _, o := range opts {
+		o(&cfg)
 	}
-	sc := bufio.NewScanner(conn)
+	if cfg.dialTimeout <= 0 {
+		cfg.dialTimeout = DefaultDialTimeout
+	}
+	d := net.Dialer{Timeout: cfg.dialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, &TransportError{Op: "dial", Err: err}
+	}
+	rw := conn
+	if cfg.ioTimeout > 0 {
+		rw = &deadlineConn{Conn: conn, timeout: cfg.ioTimeout}
+	}
+	sc := bufio.NewScanner(rw)
 	sc.Buffer(make([]byte, 1<<16), 1<<20)
-	return &Client{conn: conn, r: sc, w: bufio.NewWriterSize(conn, 1<<16)}, nil
+	return &Client{conn: conn, r: sc, w: bufio.NewWriterSize(rw, 1<<16)}, nil
 }
 
 // Close sends QUIT and closes the connection.
@@ -43,23 +118,29 @@ func (c *Client) send(line string) error {
 	if strings.ContainsAny(line, "\n") {
 		return fmt.Errorf("tripled: request contains newline")
 	}
-	_, err := fmt.Fprintln(c.w, line)
-	return err
+	if _, err := fmt.Fprintln(c.w, line); err != nil {
+		return &TransportError{Op: "send", Err: err}
+	}
+	return nil
 }
 
 // recv flushes pending writes and reads one response line.
 func (c *Client) recv() (string, error) {
 	if err := c.w.Flush(); err != nil {
-		return "", err
+		return "", &TransportError{Op: "send", Err: err}
 	}
 	if !c.r.Scan() {
 		if err := c.r.Err(); err != nil {
-			return "", err
+			return "", &TransportError{Op: "recv", Err: err}
 		}
-		return "", fmt.Errorf("tripled: connection closed")
+		return "", &TransportError{Op: "recv", Err: errConnClosed}
 	}
 	return c.r.Text(), nil
 }
+
+// errConnClosed is the orderly-EOF transport failure: the server hung
+// up between responses.
+var errConnClosed = fmt.Errorf("connection closed")
 
 func (c *Client) roundTrip(line string) (string, error) {
 	if err := c.send(line); err != nil {
@@ -170,7 +251,10 @@ func (c *Client) readBlock(first string) ([]string, error) {
 	out := make([]string, 0, n)
 	for i := 0; i < n; i++ {
 		if !c.r.Scan() {
-			return nil, fmt.Errorf("tripled: truncated block (%d of %d lines)", i, n)
+			// The stream died mid-block: a transport event, retryable on
+			// a fresh connection (reads are pure).
+			return nil, &TransportError{Op: "recv",
+				Err: fmt.Errorf("truncated block (%d of %d lines)", i, n)}
 		}
 		out = append(out, c.r.Text())
 	}

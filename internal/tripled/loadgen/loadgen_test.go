@@ -1,0 +1,106 @@
+package loadgen
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/assoc"
+	"repro/internal/tripled"
+)
+
+func TestParseMix(t *testing.T) {
+	mix, err := ParseMix("70, 25,5")
+	if err != nil || mix != [3]int{70, 25, 5} {
+		t.Fatalf("ParseMix: %v, %v", mix, err)
+	}
+	for _, bad := range []string{"70,25", "a,b,c", "0,0,0", "-1,2,3"} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Errorf("ParseMix(%q) accepted", bad)
+		}
+	}
+}
+
+// TestRunMidBarrier proves the Mid hook's contract: it fires exactly
+// once, after every client has issued ops/2 operations and before any
+// issues the next one — so a fault injected there lands at a
+// deterministic position in each client's script.
+func TestRunMidBarrier(t *testing.T) {
+	srv, err := tripled.Serve(tripled.NewStore(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const clients, ops = 4, 100
+	var midCalls atomic.Int32
+	var opsAtMid atomic.Int64
+	counts := make([]atomic.Int64, clients)
+	st, err := Run(Config{
+		Clients: clients,
+		Ops:     ops,
+		Batch:   8,
+		Rows:    500,
+		Mix:     [3]int{60, 30, 10},
+		Seed:    7,
+		Dial: func(id int) (tripled.Conn, error) {
+			c, err := tripled.Dial(srv.Addr())
+			if err != nil {
+				return nil, err
+			}
+			return &countingConn{Conn: c, n: &counts[id]}, nil
+		},
+		Mid: func() {
+			midCalls.Add(1)
+			var total int64
+			for i := range counts {
+				total += counts[i].Load()
+			}
+			opsAtMid.Store(total)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := midCalls.Load(); got != 1 {
+		t.Fatalf("Mid ran %d times, want 1", got)
+	}
+	// At the barrier every client has issued exactly ops/2 workload
+	// items: each loop iteration contributes one cell, one GET, or one
+	// TOPDEG, and the pre-barrier flush pushes pending cells through
+	// before Mid runs.
+	if at := opsAtMid.Load(); at != clients*ops/2 {
+		t.Fatalf("ops issued at Mid = %d, want exactly %d", at, clients*ops/2)
+	}
+	total := 0
+	for _, kind := range OpKinds {
+		total += len(st.Lat[kind])
+		if st.Percentile(kind, 0.99) < st.Percentile(kind, 0.50) {
+			t.Fatalf("%s p99 < p50", kind)
+		}
+	}
+	if total == 0 {
+		t.Fatal("no samples recorded")
+	}
+}
+
+// countingConn counts workload items through the wire (cells, GETs,
+// TOPDEGs) so the test can see how much work ran before the barrier.
+type countingConn struct {
+	tripled.Conn
+	n *atomic.Int64
+}
+
+func (c *countingConn) PutBatch(cells []tripled.Cell) error {
+	c.n.Add(int64(len(cells)))
+	return c.Conn.PutBatch(cells)
+}
+
+func (c *countingConn) Get(row, col string) (assoc.Value, error) {
+	c.n.Add(1)
+	return c.Conn.Get(row, col)
+}
+
+func (c *countingConn) TopRowsByDegree(k int) ([]tripled.RowDegree, error) {
+	c.n.Add(1)
+	return c.Conn.TopRowsByDegree(k)
+}
