@@ -41,15 +41,19 @@
 //     which is checked unconditionally on every -study run.
 //
 // With -tripled the report is the BENCH_tripled.json schema: the
-// shared loadgen workload run three ways — one server, a 3-node R=2
+// shared loadgen workload run four ways — one in-memory server, one
+// durable (WAL-on, interval sync) server, a 3-node R=2
 // consistent-hash cluster, and the same cluster with one replica
 // blackholed at the halfway barrier — with cells+queries/sec and
-// p50/p95/p99 latency per op kind and phase. Its gates, both required
-// in the baseline (-check fails, not skips, when either is absent):
+// p50/p95/p99 latency per op kind and phase. Its gates, all required
+// in the baseline (-check fails, not skips, when any is absent):
 //
 //   - replication_overhead (single-node PUT throughput over 3-node,
 //     both measured in the same run, so machine-relative) must stay
 //     under the baseline's replication_overhead_max;
+//   - wal_overhead (in-memory single-node PUT throughput over the
+//     durable node's, same run) must stay under wal_overhead_max —
+//     durability is not allowed to tax ingest more than ~1.5x;
 //   - the blackholed phase must finish every op AND record at least
 //     failovers_min non-primary reads — proof the degraded path ran.
 //
@@ -152,8 +156,13 @@ type Report struct {
 	// Failovers counts reads the blackholed-replica phase served from a
 	// non-primary node — proof the failover path actually ran, not just
 	// that the workload finished. Tripled schema only.
-	Failovers int   `json:"failovers,omitempty"`
-	Gates     Gates `json:"gates"`
+	Failovers int `json:"failovers,omitempty"`
+	// WALOverhead is the durable (WAL-on, interval sync) single node's
+	// PUT cost over the in-memory single node (memory cells/sec divided
+	// by durable cells/sec), both measured in the same run so it is
+	// machine-relative. Tripled schema only.
+	WALOverhead float64 `json:"wal_overhead,omitempty"`
+	Gates       Gates   `json:"gates"`
 	// Seed preserves the pre-refactor measurements this PR started from,
 	// so the trajectory keeps its origin even as the baseline moves.
 	Seed map[string]Metric `json:"seed,omitempty"`
@@ -184,6 +193,11 @@ type Gates struct {
 	// they are absent, so a truncated baseline cannot pass vacuously.
 	ReplicationOverheadMax float64 `json:"replication_overhead_max,omitempty"`
 	FailoversMin           int     `json:"failovers_min,omitempty"`
+	// WALOverheadMax caps what durability may cost ingest: the WAL-on
+	// (interval sync) single node vs the in-memory single node, measured
+	// in the same run. Required in a tripled baseline like the cluster
+	// gates above — compare fails, not skips, when it is absent.
+	WALOverheadMax float64 `json:"wal_overhead_max,omitempty"`
 }
 
 func defaultGates() Gates {
@@ -284,8 +298,8 @@ func main() {
 			fmt.Printf("benchreport: all gates pass against %s (study speedup %.2fx, fit speedup %.2fx on %d CPUs)\n",
 				*check, rep.StudySpeedup, rep.FitSpeedup, rep.NumCPU)
 		} else if *tripled {
-			fmt.Printf("benchreport: all gates pass against %s (replication overhead %.2fx, %d failovers under blackhole)\n",
-				*check, rep.ReplicationOverhead, rep.Failovers)
+			fmt.Printf("benchreport: all gates pass against %s (replication overhead %.2fx, WAL overhead %.2fx, %d failovers under blackhole)\n",
+				*check, rep.ReplicationOverhead, rep.WALOverhead, rep.Failovers)
 		} else {
 			fmt.Printf("benchreport: all gates pass against %s (merge speedup %.2fx)\n", *check, rep.MergeSpeedup)
 		}
@@ -344,14 +358,15 @@ func compare(fresh, base *Report, maxRegress float64) []string {
 		}
 	}
 	if fresh.Schema == tripledSchema {
-		// Fail, don't skip, when the baseline lacks the cluster gates: a
-		// BENCH_tripled.json without them would turn this check into a
-		// throughput-only comparison that passes while failover is broken.
-		if g.ReplicationOverheadMax == 0 || g.FailoversMin == 0 {
+		// Fail, don't skip, when the baseline lacks the cluster or WAL
+		// gates: a BENCH_tripled.json without them would turn this check
+		// into a throughput-only comparison that passes while failover or
+		// durability is broken.
+		if g.ReplicationOverheadMax == 0 || g.FailoversMin == 0 || g.WALOverheadMax == 0 {
 			errs = append(errs, fmt.Sprintf(
-				"baseline %q is missing the tripled gates (replication_overhead_max=%v, failovers_min=%v); "+
+				"baseline %q is missing the tripled gates (replication_overhead_max=%v, failovers_min=%v, wal_overhead_max=%v); "+
 					"regenerate it with benchreport -tripled -out FILE",
-				base.Schema, g.ReplicationOverheadMax, g.FailoversMin))
+				base.Schema, g.ReplicationOverheadMax, g.FailoversMin, g.WALOverheadMax))
 		} else {
 			if fresh.ReplicationOverhead > g.ReplicationOverheadMax {
 				errs = append(errs, fmt.Sprintf("replication_overhead %.2fx exceeds gate %.2fx",
@@ -361,6 +376,10 @@ func compare(fresh, base *Report, maxRegress float64) []string {
 				errs = append(errs, fmt.Sprintf(
 					"blackholed phase recorded %d failovers, gate wants >= %d: the degraded path did not run",
 					fresh.Failovers, g.FailoversMin))
+			}
+			if fresh.WALOverhead > g.WALOverheadMax {
+				errs = append(errs, fmt.Sprintf("wal_overhead %.2fx exceeds gate %.2fx: durability crept onto the ingest hot path",
+					fresh.WALOverhead, g.WALOverheadMax))
 			}
 		}
 	} else if fresh.Schema == studySchema {
@@ -604,20 +623,27 @@ const tripledSchema = "bench_tripled/v1"
 // honest in-process cost; 6x leaves timer-noise headroom while still
 // catching a pathological cluster client. The failover floor is 1:
 // the blackholed run must have actually served reads from a
-// non-primary replica, or it measured nothing.
+// non-primary replica, or it measured nothing. The WAL cap is 1.5x:
+// interval sync means durability costs one buffered write() per
+// request off the ack path, so anything past ~1.5x signals the log
+// has crept back onto the hot path (per-record fsync, allocation in
+// the framer, serialization under the stripe lock).
 func defaultTripledGates() Gates {
 	return Gates{
 		ReplicationOverheadMax: 6,
 		FailoversMin:           1,
+		WALOverheadMax:         1.5,
 	}
 }
 
-// measureTripled runs the loadgen workload three ways — one node, a
-// 3-node R=2 cluster, and the same cluster with one replica blackholed
-// at the halfway barrier — and reports throughput plus latency
-// percentiles for each, the single-vs-cluster PUT overhead, and the
-// failover count from the degraded phase. Any workload error is fatal:
-// with R=2 and one injected fault the cluster is obligated to finish.
+// measureTripled runs the loadgen workload four ways — one in-memory
+// node, one durable (WAL-on, interval sync) node, a 3-node R=2
+// cluster, and the same cluster with one replica blackholed at the
+// halfway barrier — and reports throughput plus latency percentiles
+// for each, the single-vs-cluster PUT overhead, the WAL ingest
+// overhead, and the failover count from the degraded phase. Any
+// workload error is fatal: with R=2 and one injected fault the
+// cluster is obligated to finish.
 func measureTripled(quick bool) *Report {
 	lcfg := loadgen.Config{
 		Clients: 8,
@@ -681,6 +707,34 @@ func measureTripled(quick bool) *Report {
 		log.Fatalf("benchreport: single-node load phase: %v", err)
 	}
 	record("single", st)
+
+	// Phase 1b: single durable node — same workload against a WAL-backed
+	// server at the interval sync policy (the production default: the
+	// write() lands before the ack, fsync rides the ticker). The server
+	// is closed and its log deleted after the phase; only the overhead
+	// ratio vs phase 1 is kept.
+	walDir, err := os.MkdirTemp("", "benchreport-wal-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	walSrv, err := tripled.Serve(tripled.NewStore(), "127.0.0.1:0",
+		tripled.WithDataDir(walDir), tripled.WithWALSyncPolicy("interval"))
+	if err != nil {
+		log.Fatalf("benchreport: durable node: %v", err)
+	}
+	walOn := lcfg
+	walAddr := walSrv.Addr()
+	walOn.Dial = func(int) (tripled.Conn, error) { return tripled.Dial(walAddr) }
+	stw, err := loadgen.Run(walOn)
+	if err != nil {
+		log.Fatalf("benchreport: WAL-on load phase: %v", err)
+	}
+	record("walon", stw)
+	if w := stw.PerSec("PUT"); w > 0 {
+		rep.WALOverhead = st.PerSec("PUT") / w
+	}
+	walSrv.Close()
+	os.RemoveAll(walDir)
 
 	// Phase 2: clean 3-node R=2 cluster.
 	clean := lcfg

@@ -11,6 +11,7 @@
 //	tripled-load [-addr HOST:PORT|CLUSTER-SPEC] [-nodes N] [-replicas R]
 //	             [-chaos MODE] [-clients M] [-ops N] [-batch B]
 //	             [-rows N] [-mix PUT,GET,TOPDEG] [-stripes N] [-seed N]
+//	             [-data-dir DIR] [-wal-sync always|interval]
 //
 // With -nodes > 1 the tool serves N in-process tripled servers and
 // drives them through the consistent-hash cluster client at -replicas
@@ -21,6 +22,15 @@
 // placed. -addr accepts a cluster spec ("a,b,c;replicas=2") as well as
 // a single address.
 //
+// With -data-dir the in-process servers are durable: each appends its
+// mutations to a checksummed WAL under DIR/node-N before acking, and a
+// rerun with the same dir replays the log at startup. -chaos crash
+// (requires -data-dir) closes one node at the halfway barrier,
+// discards its in-memory store, restarts it on the same address from
+// its WAL, and reports the recovery wall time; a single durable node
+// is driven through a 1-node cluster spec so client retries absorb the
+// restart window.
+//
 // With -batch > 1 the PUT share of the workload flows through the
 // pipelined BATCH path (B cells per request); -batch 1 is the classic
 // one-round-trip-per-cell mode the batched protocol replaced.
@@ -30,6 +40,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"time"
@@ -45,7 +57,7 @@ func main() {
 		addr     = flag.String("addr", "", "tripled server address or cluster spec (default: serve in-process)")
 		nodes    = flag.Int("nodes", 1, "in-process servers to start (ignored with -addr)")
 		replicas = flag.Int("replicas", cluster.DefaultReplicas, "copies per row when -nodes > 1")
-		chaos    = flag.String("chaos", "", "fault mode injected on node 1 at half-run: blackhole, delay, slowread, reset, drop")
+		chaos    = flag.String("chaos", "", "fault injected at half-run: blackhole, delay, slowread, reset, drop (node 1), or crash (needs -data-dir)")
 		clients  = flag.Int("clients", 8, "concurrent client connections")
 		ops      = flag.Int("ops", 5000, "operations per client")
 		batch    = flag.Int("batch", 256, "cells per PUT batch (1 = per-cell round trips)")
@@ -54,6 +66,8 @@ func main() {
 		stripes  = flag.Int("stripes", tripled.DefaultStripes, "store stripes for in-process servers")
 		topk     = flag.Int("topk", 10, "k of each TOPDEG query")
 		seed     = flag.Int64("seed", 1, "workload seed")
+		dataDir  = flag.String("data-dir", "", "make in-process servers durable: per-node WAL dirs under this path")
+		walSync  = flag.String("wal-sync", "interval", "WAL sync policy with -data-dir: always or interval")
 	)
 	flag.Parse()
 	mix, err := loadgen.ParseMix(*mixFlag)
@@ -61,21 +75,49 @@ func main() {
 		log.Fatal(err)
 	}
 
+	crashChaos := *chaos == "crash"
+	if crashChaos && *dataDir == "" {
+		log.Fatal("tripled-load: -chaos crash needs -data-dir (recovery replays the WAL)")
+	}
 	target := *addr
 	var proxies []*faultinject.Proxy
+	var servers []*tripled.Server // in-process servers, by node index
+	var rawAddrs []string         // their concrete listen addresses
+	var nodeDirs []string         // their WAL dirs ("" without -data-dir)
+	serveNode := func(i int, nodeAddr string) (*tripled.Server, error) {
+		var opts []tripled.Option
+		if *dataDir != "" {
+			dir := filepath.Join(*dataDir, fmt.Sprintf("node-%d", i))
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				return nil, err
+			}
+			for len(nodeDirs) <= i {
+				nodeDirs = append(nodeDirs, "")
+			}
+			nodeDirs[i] = dir
+			opts = append(opts, tripled.WithDataDir(dir), tripled.WithWALSyncPolicy(*walSync))
+		}
+		return tripled.Serve(tripled.NewStoreStripes(*stripes), nodeAddr, opts...)
+	}
 	if target == "" {
 		if *nodes < 1 {
 			log.Fatal("tripled-load: -nodes must be >= 1")
 		}
 		var addrs []string
 		for i := 0; i < *nodes; i++ {
-			srv, err := tripled.Serve(tripled.NewStoreStripes(*stripes), "127.0.0.1:0")
+			srv, err := serveNode(i, "127.0.0.1:0")
 			if err != nil {
 				log.Fatal(err)
 			}
-			defer srv.Close()
+			defer func(i int) { servers[i].Close() }(i)
+			if rec := srv.Recovery(); rec.Enabled && (rec.HadSnapshot || rec.TailRecords > 0) {
+				fmt.Printf("node %d: recovered %d snapshot cells + %d tail records in %v\n",
+					i, rec.SnapshotCells, rec.TailRecords, rec.Wall.Round(time.Millisecond))
+			}
+			servers = append(servers, srv)
 			nodeAddr := srv.Addr()
-			if *chaos != "" {
+			rawAddrs = append(rawAddrs, nodeAddr)
+			if *chaos != "" && !crashChaos {
 				p, err := faultinject.New(nodeAddr)
 				if err != nil {
 					log.Fatal(err)
@@ -89,22 +131,28 @@ func main() {
 		if *nodes == 1 {
 			target = addrs[0]
 			fmt.Printf("in-process server on %s (%d stripes)\n", target, *stripes)
+			if crashChaos {
+				// A lone durable node restarting mid-run has no peer to fail
+				// over to; route through a 1-node cluster spec so retries
+				// absorb the restart window.
+				target = fmt.Sprintf("%s;replicas=1;io_timeout=500ms;retries=8", addrs[0])
+			}
 		} else {
 			target = fmt.Sprintf("%s;replicas=%d", strings.Join(addrs, ","), *replicas)
 			fmt.Printf("in-process %d-node cluster, %d replicas/row (%d stripes each)\n",
 				*nodes, *replicas, *stripes)
 		}
-		if *chaos != "" {
+		if *chaos != "" && *nodes > 1 {
 			// Bound detection cost so the post-fault tail measures failover,
 			// not five-second default timeouts.
-			target += ";io_timeout=500ms;retries=2"
+			target += ";io_timeout=500ms;retries=8"
 		}
 	} else if *chaos != "" {
 		log.Fatal("tripled-load: -chaos needs in-process nodes (drop -addr)")
 	}
 
 	var mode faultinject.Mode
-	if *chaos != "" {
+	if *chaos != "" && !crashChaos {
 		if len(proxies) < 2 {
 			log.Fatal("tripled-load: -chaos needs -nodes >= 2 (a 1-node cluster cannot fail over)")
 		}
@@ -138,7 +186,30 @@ func main() {
 			return c, err
 		},
 	}
-	if *chaos != "" {
+	switch {
+	case crashChaos:
+		// Crash one node at the halfway barrier: close it (listener and
+		// in-memory store gone), then restart it on the same address from
+		// its WAL — the tail of the run measures recovery + rejoin.
+		crashIdx := 0
+		if *nodes > 1 {
+			crashIdx = 1
+		}
+		cfg.Mid = func() {
+			fmt.Printf("half-run: crashing node %d (in-memory state discarded)\n", crashIdx)
+			servers[crashIdx].Close()
+			start := time.Now()
+			srv, err := serveNode(crashIdx, rawAddrs[crashIdx])
+			if err != nil {
+				log.Fatalf("tripled-load: crash restart: %v", err)
+			}
+			rec := srv.Recovery()
+			fmt.Printf("crash: node %d restarted in %v (%d snapshot cells, %d tail records, %d ops replayed, %d torn bytes)\n",
+				crashIdx, time.Since(start).Round(time.Millisecond),
+				rec.SnapshotCells, rec.TailRecords, rec.TailOps, rec.TornBytes)
+			servers[crashIdx] = srv
+		}
+	case *chaos != "":
 		cfg.Mid = func() {
 			fmt.Printf("half-run: injecting %v on node 1\n", mode)
 			proxies[1].SetMode(mode)

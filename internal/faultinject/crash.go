@@ -1,0 +1,83 @@
+package faultinject
+
+// crash.go is the process-level crash harness: where proxy.go injects
+// wire faults into a live server, Process injects the fault the WAL
+// exists for — SIGKILL of a real OS process, no deferred cleanup, no
+// flushes, exactly what a machine reset leaves behind. Tests re-exec
+// their own test binary as the server (the helper-process pattern) and
+// kill it mid-request, then restart from the same data dir and hold
+// recovery to the replay oracle.
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+	"time"
+)
+
+// Process is one crash-target subprocess.
+type Process struct {
+	cmd   *exec.Cmd
+	Ready string // remainder of the readiness line after the prefix
+}
+
+// StartProcess launches bin with args and extra environment entries
+// ("K=V"), then waits up to timeout for a stdout line starting with
+// readyPrefix — the child's readiness signal (a server prints
+// "LISTEN <addr>" once it accepts). The remainder of that line is
+// returned in Process.Ready. The child's stderr passes through to the
+// parent's for debuggability.
+func StartProcess(bin string, args, env []string, readyPrefix string, timeout time.Duration) (*Process, error) {
+	cmd := exec.Command(bin, args...)
+	cmd.Env = append(os.Environ(), env...)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	readyc := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if line := sc.Text(); strings.HasPrefix(line, readyPrefix) {
+				readyc <- strings.TrimSpace(strings.TrimPrefix(line, readyPrefix))
+				// Keep draining so the child never blocks on a full pipe.
+				for sc.Scan() {
+				}
+				return
+			}
+		}
+		errc <- fmt.Errorf("faultinject: child exited before printing %q", readyPrefix)
+	}()
+	select {
+	case ready := <-readyc:
+		return &Process{cmd: cmd, Ready: ready}, nil
+	case err := <-errc:
+		cmd.Process.Kill()
+		cmd.Wait()
+		return nil, err
+	case <-time.After(timeout):
+		cmd.Process.Kill()
+		cmd.Wait()
+		return nil, fmt.Errorf("faultinject: child not ready within %v", timeout)
+	}
+}
+
+// Kill delivers SIGKILL and reaps the child. The child gets no chance
+// to flush, close, or unwind — the whole point.
+func (p *Process) Kill() error {
+	if err := p.cmd.Process.Kill(); err != nil {
+		return err
+	}
+	p.cmd.Wait() // exit status "killed" is expected, not an error
+	return nil
+}
+
+// Pid returns the child's process ID.
+func (p *Process) Pid() int { return p.cmd.Process.Pid }

@@ -1,0 +1,89 @@
+package faultinject
+
+// crash_test.go proves the process harness itself before any recovery
+// guarantee is gated on it: readiness parsing, timeout and early-exit
+// handling, SIGKILL delivery, and the TriggerAfterBytes hook firing
+// exactly once at the armed byte count while traffic keeps flowing.
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestStartProcessReadyAndKill(t *testing.T) {
+	p, err := StartProcess("/bin/sh",
+		[]string{"-c", "echo LISTEN 127.0.0.1:4242; exec sleep 60"},
+		nil, "LISTEN ", 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Ready != "127.0.0.1:4242" {
+		t.Fatalf("Ready = %q, want the address after the prefix", p.Ready)
+	}
+	if p.Pid() <= 0 {
+		t.Fatalf("Pid = %d", p.Pid())
+	}
+	if err := p.Kill(); err != nil {
+		t.Fatalf("Kill: %v", err)
+	}
+}
+
+func TestStartProcessChildExitsBeforeReady(t *testing.T) {
+	if _, err := StartProcess("/bin/sh", []string{"-c", "exit 3"},
+		nil, "LISTEN ", 5*time.Second); err == nil {
+		t.Fatal("child exited without the readiness line, StartProcess succeeded")
+	}
+}
+
+func TestStartProcessTimeout(t *testing.T) {
+	start := time.Now()
+	if _, err := StartProcess("/bin/sh", []string{"-c", "exec sleep 60"},
+		nil, "LISTEN ", 200*time.Millisecond); err == nil {
+		t.Fatal("silent child, StartProcess succeeded")
+	}
+	if time.Since(start) > 3*time.Second {
+		t.Fatal("timeout did not bound the wait")
+	}
+}
+
+// TestTriggerAfterBytesFiresOnceAndForwards: the hook must fire exactly
+// once when the client→server byte count crosses the threshold, after
+// the crossing chunk was forwarded — and the relay must keep working.
+func TestTriggerAfterBytesFiresOnceAndForwards(t *testing.T) {
+	p := newProxy(t, echoUpstream(t).Addr().String())
+	var fired atomic.Int32
+	hit := make(chan struct{})
+	p.TriggerAfterBytes(10, func() {
+		if fired.Add(1) == 1 {
+			close(hit)
+		}
+	})
+	conn := dialProxy(t, p)
+	// 8 bytes: below threshold, no fire.
+	if got, err := roundTrip(t, conn, "12345678"); err != nil || got != "12345678" {
+		t.Fatalf("pre-threshold roundtrip: %q, %v", got, err)
+	}
+	select {
+	case <-hit:
+		t.Fatal("trigger fired below the threshold")
+	case <-time.After(50 * time.Millisecond):
+	}
+	// 8 more: crosses 10; the chunk must still be forwarded.
+	if got, err := roundTrip(t, conn, "abcdefgh"); err != nil || got != "abcdefgh" {
+		t.Fatalf("crossing roundtrip: %q, %v", got, err)
+	}
+	select {
+	case <-hit:
+	case <-time.After(2 * time.Second):
+		t.Fatal("trigger did not fire after crossing the threshold")
+	}
+	// More traffic must not re-fire the one-shot.
+	if got, err := roundTrip(t, conn, "postfire-traffic"); err != nil || got != "postfire-traffic" {
+		t.Fatalf("post-fire roundtrip: %q, %v", got, err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if n := fired.Load(); n != 1 {
+		t.Fatalf("trigger fired %d times, want exactly 1", n)
+	}
+}

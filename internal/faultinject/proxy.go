@@ -87,13 +87,15 @@ type Proxy struct {
 	ln     net.Listener
 	target string
 
-	mode       atomic.Int32
-	delayNs    atomic.Int64 // Delay mode: per-chunk added latency
-	slowChunk  atomic.Int64 // SlowRead mode: bytes per tick
-	slowTickNs atomic.Int64
-	resetAfter atomic.Int64 // client→server byte threshold; 0 = off
-	bholeAfter atomic.Int64 // client→server byte threshold; 0 = off
-	upBytes    atomic.Int64 // client→server bytes forwarded so far
+	mode         atomic.Int32
+	delayNs      atomic.Int64 // Delay mode: per-chunk added latency
+	slowChunk    atomic.Int64 // SlowRead mode: bytes per tick
+	slowTickNs   atomic.Int64
+	resetAfter   atomic.Int64 // client→server byte threshold; 0 = off
+	bholeAfter   atomic.Int64 // client→server byte threshold; 0 = off
+	triggerAfter atomic.Int64 // client→server byte threshold; 0 = off
+	triggerFn    func()       // under mu; fired once at triggerAfter
+	upBytes      atomic.Int64 // client→server bytes forwarded so far
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{} // client-side conns, for CloseExisting
@@ -151,6 +153,19 @@ func (p *Proxy) ResetAfterBytes(n int64) { p.resetAfter.Store(n) }
 // Blackhole — the deterministic kill-a-replica-mid-run fault. 0
 // disarms.
 func (p *Proxy) BlackholeAfterBytes(n int64) { p.bholeAfter.Store(n) }
+
+// TriggerAfterBytes arms a one-shot callback: once n client→server
+// bytes have been forwarded in total, fn runs (in its own goroutine,
+// after the crossing chunk was forwarded). It is the generic
+// deterministic fault hook — the crash-recovery scenario uses it to
+// SIGKILL-and-restart the real server mid-ingest at an exact byte
+// offset. n <= 0 disarms.
+func (p *Proxy) TriggerAfterBytes(n int64, fn func()) {
+	p.mu.Lock()
+	p.triggerFn = fn
+	p.mu.Unlock()
+	p.triggerAfter.Store(n)
+}
 
 // ForwardedBytes reports total client→server bytes forwarded.
 func (p *Proxy) ForwardedBytes() int64 { return p.upBytes.Load() }
@@ -317,6 +332,18 @@ func (p *Proxy) copyChunks(dst, src net.Conn, up bool, kill func(reset bool)) {
 				if th := p.bholeAfter.Load(); th > 0 && total >= th {
 					dst.Write(buf[:n])
 					p.SetMode(Blackhole)
+					continue
+				}
+				if th := p.triggerAfter.Load(); th > 0 && total >= th && p.triggerAfter.CompareAndSwap(th, 0) {
+					// Forward the crossing chunk first, so the upstream holds
+					// a genuinely torn mid-request state when fn crashes it.
+					dst.Write(buf[:n])
+					p.mu.Lock()
+					fn := p.triggerFn
+					p.mu.Unlock()
+					if fn != nil {
+						go fn()
+					}
 					continue
 				}
 			}

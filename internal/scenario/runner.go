@@ -4,7 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -47,43 +50,138 @@ func (r *Result) FailedChecks() []Check {
 	return out
 }
 
+// storeFaults carries a scenario's store-level knobs into execute:
+// durability and the byte-counted fault schedule.
+type storeFaults struct {
+	wal            bool
+	blackholeBytes int64
+	crashBytes     int64
+}
+
+// serverSlot is a restartable in-process store node: the crash hook
+// swaps in the recovered server under the mutex, and the deferred
+// close always tears down the current occupant.
+type serverSlot struct {
+	mu  sync.Mutex
+	srv *tripled.Server
+}
+
+func (s *serverSlot) close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.srv.Close()
+}
+
+// crashRestart closes the slot's server (listener and in-memory state
+// gone) and restarts it on the same address from its WAL dir. A failed
+// restart leaves the slot dead; the pipeline then surfaces the store
+// loss as a runtime error rather than asserting against partial data.
+func (s *serverSlot) crashRestart(addr string, opts ...tripled.Option) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.srv.Close()
+	srv, err := tripled.Serve(tripled.NewStore(), addr, opts...)
+	if err != nil {
+		return
+	}
+	s.srv = srv
+}
+
 // execute runs one configuration through the full pipeline, optionally
 // routed through an in-process tripled store or a 3-node replicated
 // cluster (the same services the production path dials over TCP, bound
-// to loopback ports for the scenario's lifetime). chaosBytes > 0
-// blackholes cluster node 1 after that much table traffic — the
-// deterministic mid-study replica loss the failover scenario injects.
-func execute(ctx context.Context, cfg core.Config, store StoreMode, chaosBytes int64) (*core.Result, error) {
+// to loopback ports for the scenario's lifetime). With fx.wal the
+// servers are durable (per-node WAL dirs under a run-scoped temp dir);
+// fx.blackholeBytes blackholes cluster node 1 after that much table
+// traffic, and fx.crashBytes crashes a durable node at that byte count
+// and restarts it from its WAL — both deterministic mid-study faults.
+func execute(ctx context.Context, cfg core.Config, store StoreMode, fx storeFaults) (*core.Result, error) {
+	var walRoot string
+	nodeOpts := func(i int) ([]tripled.Option, error) {
+		if !fx.wal {
+			return nil, nil
+		}
+		dir := filepath.Join(walRoot, fmt.Sprintf("node-%d", i))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("scenario: wal dir: %w", err)
+		}
+		return []tripled.Option{tripled.WithDataDir(dir)}, nil
+	}
+	if fx.wal && store != StoreMemory {
+		dir, err := os.MkdirTemp("", "scenario-wal-")
+		if err != nil {
+			return nil, fmt.Errorf("scenario: wal dir: %w", err)
+		}
+		defer os.RemoveAll(dir)
+		walRoot = dir
+	}
 	switch store {
 	case StoreTripled:
-		srv, err := tripled.Serve(tripled.NewStore(), "127.0.0.1:0")
+		opts, err := nodeOpts(0)
+		if err != nil {
+			return nil, err
+		}
+		srv, err := tripled.Serve(tripled.NewStore(), "127.0.0.1:0", opts...)
 		if err != nil {
 			return nil, fmt.Errorf("scenario: start store: %w", err)
 		}
-		defer srv.Close()
-		cfg.StoreAddr = srv.Addr()
+		slot := &serverSlot{srv: srv}
+		defer slot.close()
+		raw := srv.Addr()
+		cfg.StoreAddr = raw
+		if fx.crashBytes > 0 {
+			p, err := faultinject.New(raw)
+			if err != nil {
+				return nil, fmt.Errorf("scenario: start chaos proxy: %w", err)
+			}
+			defer p.Close()
+			p.TriggerAfterBytes(fx.crashBytes, func() { slot.crashRestart(raw, opts...) })
+			// A lone store has no replica to fail over to: route through a
+			// 1-node cluster spec so client retries absorb the restart
+			// window instead of failing the study.
+			cfg.StoreAddr = p.Addr() + ";replicas=1;io_timeout=500ms;retries=8"
+		}
 	case StoreCluster:
 		addrs := make([]string, 3)
+		slots := make([]*serverSlot, 3)
+		optsByNode := make([][]tripled.Option, 3)
 		for i := range addrs {
-			srv, err := tripled.Serve(tripled.NewStore(), "127.0.0.1:0")
+			opts, err := nodeOpts(i)
+			if err != nil {
+				return nil, err
+			}
+			optsByNode[i] = opts
+			srv, err := tripled.Serve(tripled.NewStore(), "127.0.0.1:0", opts...)
 			if err != nil {
 				return nil, fmt.Errorf("scenario: start cluster node: %w", err)
 			}
-			defer srv.Close()
+			slots[i] = &serverSlot{srv: srv}
+			defer slots[i].close()
 			addrs[i] = srv.Addr()
 		}
 		cfg.StoreAddr = strings.Join(addrs, ",") + ";replicas=2"
-		if chaosBytes > 0 {
+		switch {
+		case fx.blackholeBytes > 0:
 			p, err := faultinject.New(addrs[1])
 			if err != nil {
 				return nil, fmt.Errorf("scenario: start chaos proxy: %w", err)
 			}
 			defer p.Close()
-			p.BlackholeAfterBytes(chaosBytes)
+			p.BlackholeAfterBytes(fx.blackholeBytes)
 			addrs[1] = p.Addr()
 			// Short detection budget: the lost replica must cost seconds,
 			// not the default five-second timeout per retry.
 			cfg.StoreAddr = strings.Join(addrs, ",") + ";replicas=2;io_timeout=300ms;retries=2"
+		case fx.crashBytes > 0:
+			raw := addrs[1]
+			p, err := faultinject.New(raw)
+			if err != nil {
+				return nil, fmt.Errorf("scenario: start chaos proxy: %w", err)
+			}
+			defer p.Close()
+			p.TriggerAfterBytes(fx.crashBytes, func() { slots[1].crashRestart(raw, optsByNode[1]...) })
+			addrs[1] = p.Addr()
+			cfg.StoreAddr = strings.Join(addrs, ",") + ";replicas=2;io_timeout=500ms;retries=8"
 		}
 	default:
 		cfg.StoreAddr = ""
@@ -102,7 +200,11 @@ func Run(ctx context.Context, sc *Scenario) *Result {
 	out := &Result{Scenario: sc}
 	defer func() { out.Elapsed = time.Since(start) }()
 
-	res, err := execute(ctx, sc.Config, sc.Store, sc.ChaosBlackholeBytes)
+	res, err := execute(ctx, sc.Config, sc.Store, storeFaults{
+		wal:            sc.WAL,
+		blackholeBytes: sc.ChaosBlackholeBytes,
+		crashBytes:     sc.ChaosCrashBytes,
+	})
 	if err != nil {
 		out.Err = err
 		return out
@@ -123,7 +225,7 @@ func Run(ctx context.Context, sc *Scenario) *Result {
 			if sc.Store == StoreMemory {
 				opposite = StoreTripled
 			}
-			other, otherErr = execute(ctx, sc.Config, opposite, 0)
+			other, otherErr = execute(ctx, sc.Config, opposite, storeFaults{})
 			reran = true
 		}
 		return other, otherErr

@@ -44,11 +44,20 @@ type Scenario struct {
 	Description string
 	Config      core.Config
 	Store       StoreMode
+	// WAL makes the scenario's store servers durable: each gets a
+	// temporary data dir and appends mutations to a checksummed WAL
+	// before acking, so a crashed server can restart with its state.
+	WAL bool
 	// ChaosBlackholeBytes, with StoreCluster, silently blackholes one
 	// replica after this many bytes of table traffic have flowed through
 	// it — a byte-counted (so deterministic) mid-study replica loss.
 	ChaosBlackholeBytes int64
-	Assertions          []Assertion
+	// ChaosCrashBytes, with WAL, crashes one store server after this
+	// many bytes of table traffic: its listener and in-memory state are
+	// discarded mid-ingest and it restarts on the same address from its
+	// WAL, while client retries absorb the restart window.
+	ChaosCrashBytes int64
+	Assertions      []Assertion
 
 	// Path is the source file, for error messages and for resolving
 	// golden-artifact references relative to the scenario.
@@ -93,7 +102,7 @@ func Load(path string) (*Scenario, error) {
 			if !ok {
 				return nil, schemaErrf(path, "config must be a mapping")
 			}
-			sc.Config, sc.Store, sc.ChaosBlackholeBytes, err = decodeConfig(m, path)
+			sc.Config, sc.Store, sc.WAL, sc.ChaosBlackholeBytes, sc.ChaosCrashBytes, err = decodeConfig(m, path)
 			if err != nil {
 				return nil, err
 			}
@@ -162,10 +171,11 @@ func LoadDir(dir string) ([]*Scenario, error) {
 // decodeConfig maps the config block onto core.Config, starting from
 // the named scale preset. Every key is checked; unknown keys are
 // schema errors so a typo cannot silently run the wrong workload.
-func decodeConfig(m map[string]any, path string) (core.Config, StoreMode, int64, error) {
+func decodeConfig(m map[string]any, path string) (core.Config, StoreMode, bool, int64, int64, error) {
 	cfg := core.QuickConfig()
 	store := StoreMemory
-	var chaosBytes int64
+	var wal bool
+	var chaosBytes, crashBytes int64
 	if v, ok := m["scale"]; ok {
 		switch v {
 		case "quick":
@@ -173,7 +183,7 @@ func decodeConfig(m map[string]any, path string) (core.Config, StoreMode, int64,
 		case "default":
 			cfg = core.DefaultConfig()
 		default:
-			return cfg, store, 0, schemaErrf(path, "config.scale must be quick or default, got %v", v)
+			return cfg, store, false, 0, 0, schemaErrf(path, "config.scale must be quick or default, got %v", v)
 		}
 	}
 	for key, v := range m {
@@ -220,8 +230,19 @@ func decodeConfig(m map[string]any, path string) (core.Config, StoreMode, int64,
 			default:
 				err = fmt.Errorf("must be memory, tripled, or cluster, got %v", v)
 			}
+		case "wal":
+			b, ok := v.(bool)
+			if !ok {
+				err = fmt.Errorf("must be a boolean, got %v", v)
+			} else {
+				wal = b
+			}
 		case "chaos_blackhole_bytes":
 			if err = setInt64(&chaosBytes, v); err == nil && chaosBytes <= 0 {
+				err = fmt.Errorf("must be > 0, got %v", v)
+			}
+		case "chaos_crash_bytes":
+			if err = setInt64(&crashBytes, v); err == nil && crashBytes <= 0 {
 				err = fmt.Errorf("must be > 0, got %v", v)
 			}
 		case "snapshot_months":
@@ -245,17 +266,27 @@ func decodeConfig(m map[string]any, path string) (core.Config, StoreMode, int64,
 				err = decodeRadiation(sub, &cfg)
 			}
 		default:
-			return cfg, store, 0, schemaErrf(path, "unknown config key %q", key)
+			return cfg, store, false, 0, 0, schemaErrf(path, "unknown config key %q", key)
 		}
 		if err != nil {
-			return cfg, store, 0, schemaErrf(path, "config.%s: %v", key, err)
+			return cfg, store, false, 0, 0, schemaErrf(path, "config.%s: %v", key, err)
 		}
 	}
-	if chaosBytes > 0 && store != StoreCluster {
-		return cfg, store, 0, schemaErrf(path,
+	switch {
+	case chaosBytes > 0 && store != StoreCluster:
+		return cfg, store, false, 0, 0, schemaErrf(path,
 			"config.chaos_blackhole_bytes needs store: cluster (a single store has no replica to lose)")
+	case wal && store == StoreMemory:
+		return cfg, store, false, 0, 0, schemaErrf(path,
+			"config.wal needs store: tripled or cluster (memory mode has no server to make durable)")
+	case crashBytes > 0 && !wal:
+		return cfg, store, false, 0, 0, schemaErrf(path,
+			"config.chaos_crash_bytes needs wal: true (a crashed server without a WAL loses the study)")
+	case crashBytes > 0 && chaosBytes > 0:
+		return cfg, store, false, 0, 0, schemaErrf(path,
+			"config.chaos_crash_bytes and config.chaos_blackhole_bytes cannot be combined")
 	}
-	return cfg, store, chaosBytes, nil
+	return cfg, store, wal, chaosBytes, crashBytes, nil
 }
 
 func decodeRadiation(m map[string]any, cfg *core.Config) error {

@@ -391,6 +391,61 @@ func (c *Client) TopRowsByDegree(k int) ([]RowDegree, error) {
 	return out, nil
 }
 
+// BucketDigests fetches the server's nb anti-entropy bucket digests
+// (RESYNC DIGEST). The result is indexed by bucket.
+func (c *Client) BucketDigests(nb int) ([]BucketDigest, error) {
+	resp, err := c.roundTrip(fmt.Sprintf("RESYNC\tDIGEST\t%d", nb))
+	if err != nil {
+		return nil, err
+	}
+	lines, err := c.readBlock(resp)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]BucketDigest, nb)
+	for _, line := range lines {
+		parts := strings.SplitN(line, "\t", 3)
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("tripled: malformed digest line %q", line)
+		}
+		b, err1 := strconv.Atoi(parts[0])
+		count, err2 := strconv.Atoi(parts[1])
+		sum, err3 := strconv.ParseUint(parts[2], 10, 64)
+		if err1 != nil || err2 != nil || err3 != nil || b < 0 || b >= nb {
+			return nil, fmt.Errorf("tripled: malformed digest line %q", line)
+		}
+		out[b] = BucketDigest{Count: count, Sum: sum}
+	}
+	return out, nil
+}
+
+// RowDigests fetches per-row digests for one bucket of the nb-bucket
+// partition (RESYNC ROWS); bucket -1 fetches every row.
+func (c *Client) RowDigests(nb, bucket int) ([]RowDigestEntry, error) {
+	resp, err := c.roundTrip(fmt.Sprintf("RESYNC\tROWS\t%d\t%d", nb, bucket))
+	if err != nil {
+		return nil, err
+	}
+	lines, err := c.readBlock(resp)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]RowDigestEntry, 0, len(lines))
+	for _, line := range lines {
+		parts := strings.SplitN(line, "\t", 3)
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("tripled: malformed row digest line %q", line)
+		}
+		count, err1 := strconv.Atoi(parts[1])
+		sum, err2 := strconv.ParseUint(parts[2], 10, 64)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("tripled: malformed row digest line %q", line)
+		}
+		out = append(out, RowDigestEntry{Row: parts[0], Count: count, Sum: sum})
+	}
+	return out, nil
+}
+
 // PrefixEnd returns the smallest string greater than every string with
 // the given prefix, for use as a scan end bound. An empty prefix (or a
 // prefix of only 0xff bytes) returns "", the unbounded end.

@@ -141,6 +141,7 @@ type Client struct {
 	nodes     []*node
 	rng       *rand.Rand
 	failovers int
+	repairs   int
 }
 
 var _ tripled.Conn = (*Client)(nil)
@@ -218,6 +219,7 @@ type Health struct {
 	Replicas  int      // effective replication factor
 	Down      []string // addresses marked down, in member order
 	Failovers int      // reads served by a non-primary replica
+	Repairs   int      // members resynced and restored by Repair
 }
 
 // Degraded reports whether any member is marked down.
@@ -225,7 +227,7 @@ func (h Health) Degraded() bool { return len(h.Down) > 0 }
 
 // Health returns the current membership view.
 func (c *Client) Health() Health {
-	h := Health{Nodes: len(c.nodes), Replicas: c.cfg.Replicas, Failovers: c.failovers}
+	h := Health{Nodes: len(c.nodes), Replicas: c.cfg.Replicas, Failovers: c.failovers, Repairs: c.repairs}
 	for _, n := range c.nodes {
 		if n.down {
 			h.Down = append(h.Down, n.addr)
@@ -234,9 +236,10 @@ func (c *Client) Health() Health {
 	return h
 }
 
-// markDown records a fail-stop failure: the node stays down for the
-// life of this client (a returning node may have missed writes, so it
-// must not serve reads again without repair, which is out of scope).
+// markDown records a fail-stop failure: the node stays down until a
+// Repair resynchronizes it (a returning node may have missed writes,
+// so it must not serve reads again before anti-entropy brings it back
+// in line with its healthy replicas).
 func (c *Client) markDown(i int, err error) {
 	n := c.nodes[i]
 	if n.down {

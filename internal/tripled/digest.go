@@ -1,0 +1,115 @@
+package tripled
+
+// digest.go is the anti-entropy summary layer behind the RESYNC
+// protocol op: order-independent, cross-process-stable digests of the
+// store's contents, cheap enough to exchange before any cell moves.
+//
+// A cell's digest is CRC32C over "row\0col\0marker\0value"; a row's
+// digest is the 64-bit sum of its cell digests; a bucket's digest is
+// the sum of its rows' digests, where a row's bucket is FNV-1a(row)
+// mod the caller-chosen bucket count. Sums compose associatively and
+// commutatively, so two replicas holding the same cells report the
+// same digests regardless of stripe layout or insertion order — the
+// store's own maphash stripe seed is per-process random and therefore
+// useless here, which is why bucketing hashes the row key with FNV-1a
+// instead.
+
+import (
+	"hash/crc32"
+	"sort"
+
+	"repro/internal/assoc"
+)
+
+var digestTable = crc32.MakeTable(crc32.Castagnoli)
+
+// BucketDigest summarizes the cells whose rows hash into one bucket.
+type BucketDigest struct {
+	Count int    // cells in the bucket
+	Sum   uint64 // sum of cell digests, mod 2^64
+}
+
+// RowDigestEntry summarizes one row's cells.
+type RowDigestEntry struct {
+	Row   string
+	Count int
+	Sum   uint64
+}
+
+// DigestBucket maps a row key to its bucket in [0, nb) with FNV-1a,
+// identically in every process.
+func DigestBucket(row string, nb int) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(row); i++ {
+		h ^= uint64(row[i])
+		h *= prime64
+	}
+	return int(h % uint64(nb))
+}
+
+// CellDigest returns the digest of one cell.
+func CellDigest(row, col string, v assoc.Value) uint64 {
+	marker := "s"
+	if v.Numeric {
+		marker = "n"
+	}
+	h := crc32.Checksum([]byte(row), digestTable)
+	h = crc32.Update(h, digestTable, []byte{0})
+	h = crc32.Update(h, digestTable, []byte(col))
+	h = crc32.Update(h, digestTable, []byte{0})
+	h = crc32.Update(h, digestTable, []byte(marker))
+	h = crc32.Update(h, digestTable, []byte{0})
+	h = crc32.Update(h, digestTable, []byte(v.String()))
+	return uint64(h)
+}
+
+// BucketDigests returns the nb bucket digests of the whole table, as
+// one atomic snapshot (all stripes read-locked).
+func (s *Store) BucketDigests(nb int) []BucketDigest {
+	if nb < 1 {
+		nb = 1
+	}
+	out := make([]BucketDigest, nb)
+	s.rlockAll()
+	defer s.runlockAll()
+	for _, st := range s.stripes {
+		for row, cells := range st.rows {
+			b := DigestBucket(row, nb)
+			for col, v := range cells {
+				out[b].Count++
+				out[b].Sum += CellDigest(row, col, v)
+			}
+		}
+	}
+	return out
+}
+
+// RowDigests returns per-row digests, sorted by row key, for one
+// bucket of the nb-bucket partition — or for every row when bucket is
+// negative. Like BucketDigests it is an atomic snapshot.
+func (s *Store) RowDigests(nb, bucket int) []RowDigestEntry {
+	if nb < 1 {
+		nb = 1
+	}
+	var out []RowDigestEntry
+	s.rlockAll()
+	defer s.runlockAll()
+	for _, st := range s.stripes {
+		for row, cells := range st.rows {
+			if bucket >= 0 && DigestBucket(row, nb) != bucket {
+				continue
+			}
+			e := RowDigestEntry{Row: row, Count: len(cells)}
+			for col, v := range cells {
+				e.Sum += CellDigest(row, col, v)
+			}
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Row < out[j].Row })
+	return out
+}

@@ -58,6 +58,29 @@ func (c Class) String() string {
 // Classify needs no knowledge of the cluster package.
 var ErrStaleRing = errors.New("tripled: ring view stale (live nodes below quorum)")
 
+// BadKeyError reports a row or column key that would corrupt the
+// line-oriented formats the store round-trips through — the wire
+// protocol, WriteLog/ReplayLog, and the WAL all frame cells as
+// tab-separated lines, so a key holding a tab, newline, or carriage
+// return would silently shift fields on replay. It classifies fatal:
+// the same key is refused on every retry.
+type BadKeyError struct{ Key string }
+
+func (e *BadKeyError) Error() string {
+	return fmt.Sprintf("tripled: key %q contains a tab, newline, or carriage return", e.Key)
+}
+
+// ValidateKey rejects keys that cannot survive the line formats.
+func ValidateKey(k string) error {
+	for i := 0; i < len(k); i++ {
+		switch k[i] {
+		case '\t', '\n', '\r':
+			return &BadKeyError{Key: k}
+		}
+	}
+	return nil
+}
+
 // TransportError wraps any error produced by the connection itself —
 // dialing, deadlines, writes into a dead socket, reads of a truncated
 // stream. It classifies as retryable.

@@ -46,6 +46,7 @@ import (
 	"time"
 
 	"repro/internal/assoc"
+	"repro/internal/tripled/wal"
 )
 
 // Defaults for the tunable server limits.
@@ -78,6 +79,15 @@ type Server struct {
 	idleTimeout time.Duration
 	maxBatch    int
 
+	// Durability (see durable.go). wal is nil without a data dir.
+	dataDir         string
+	walOpts         wal.Options
+	walCompactBytes int64
+	wal             *wal.Log
+	recovery        Recovery
+	durMu           sync.Mutex // serializes WAL append + store apply
+	walBytes        int64      // appended since last compaction; under durMu
+
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
 	closed bool
@@ -85,10 +95,11 @@ type Server struct {
 
 func newServer(store *Store, opts ...Option) *Server {
 	s := &Server{
-		store:       store,
-		idleTimeout: DefaultIdleTimeout,
-		maxBatch:    DefaultMaxBatch,
-		conns:       make(map[net.Conn]struct{}),
+		store:           store,
+		idleTimeout:     DefaultIdleTimeout,
+		maxBatch:        DefaultMaxBatch,
+		walCompactBytes: DefaultWALCompactBytes,
+		conns:           make(map[net.Conn]struct{}),
 	}
 	for _, o := range opts {
 		o(s)
@@ -97,7 +108,9 @@ func newServer(store *Store, opts ...Option) *Server {
 }
 
 // Serve starts listening on addr (e.g. "127.0.0.1:0") and serving
-// connections until Close.
+// connections until Close. With a data dir configured the store is
+// recovered from snapshot + WAL tail before the first connection is
+// accepted, so a client can never observe pre-recovery state.
 func Serve(store *Store, addr string, opts ...Option) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -105,6 +118,12 @@ func Serve(store *Store, addr string, opts ...Option) (*Server, error) {
 	}
 	s := newServer(store, opts...)
 	s.ln = ln
+	if s.dataDir != "" {
+		if err := s.openWAL(); err != nil {
+			ln.Close()
+			return nil, err
+		}
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -114,7 +133,8 @@ func Serve(store *Store, addr string, opts ...Option) (*Server, error) {
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
 // Close stops the listener, closes every live connection (so idle
-// clients cannot wedge shutdown), and waits for the handlers to drain.
+// clients cannot wedge shutdown), waits for the handlers to drain, and
+// syncs and closes the WAL.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
@@ -124,6 +144,11 @@ func (s *Server) Close() error {
 	s.mu.Unlock()
 	err := s.ln.Close()
 	s.wg.Wait()
+	if s.wal != nil {
+		if werr := s.wal.Close(); err == nil {
+			err = werr
+		}
+	}
 	return err
 }
 
@@ -211,7 +236,10 @@ func (s *Server) handle(conn net.Conn, sc *bufio.Scanner, w *bufio.Writer, line 
 			fmt.Fprintf(w, "ERR %v\n", err)
 			return false
 		}
-		s.store.Put(cell.Row, cell.Col, cell.Val)
+		if _, err := s.applyOps([]batchOp{{cell: cell}}); err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return false
+		}
 		fmt.Fprintln(w, "OK")
 	case "GET":
 		if len(parts) != 3 {
@@ -233,9 +261,13 @@ func (s *Server) handle(conn net.Conn, sc *bufio.Scanner, w *bufio.Writer, line 
 			fmt.Fprintln(w, "ERR DEL wants 2 arguments")
 			return false
 		}
-		if s.store.Delete(parts[1], parts[2]) {
+		deleted, err := s.applyOps([]batchOp{{del: true, cell: Cell{Row: parts[1], Col: parts[2]}}})
+		switch {
+		case err != nil:
+			fmt.Fprintf(w, "ERR %v\n", err)
+		case deleted > 0:
 			fmt.Fprintln(w, "OK")
-		} else {
+		default:
 			fmt.Fprintln(w, "NF")
 		}
 	case "BATCH":
@@ -309,6 +341,8 @@ func (s *Server) handle(conn net.Conn, sc *bufio.Scanner, w *bufio.Writer, line 
 			}
 			fmt.Fprintf(w, "%s\t%s\t%s\t%s\n", c.Row, c.Col, marker, c.Val.String())
 		}
+	case "RESYNC":
+		return s.handleResync(w, parts)
 	case "TOPDEG":
 		if len(parts) != 2 {
 			fmt.Fprintln(w, "ERR TOPDEG wants 1 argument")
@@ -394,35 +428,78 @@ func (s *Server) handleBatch(conn net.Conn, sc *bufio.Scanner, w *bufio.Writer, 
 		fmt.Fprintf(w, "ERR %v\n", bodyErr)
 		return false
 	}
-	for start := 0; start < len(ops); {
-		end := start
-		for end < len(ops) && ops[end].del == ops[start].del {
-			end++
-		}
-		if ops[start].del {
-			keys := make([]CellKey, 0, end-start)
-			for _, op := range ops[start:end] {
-				keys = append(keys, CellKey{Row: op.cell.Row, Col: op.cell.Col})
-			}
-			s.store.DeleteBatch(keys)
-		} else {
-			cells := make([]Cell, 0, end-start)
-			for _, op := range ops[start:end] {
-				cells = append(cells, op.cell)
-			}
-			s.store.PutBatch(cells)
-		}
-		start = end
+	if _, err := s.applyOps(ops); err != nil {
+		fmt.Fprintf(w, "ERR %v\n", err)
+		return false
 	}
 	fmt.Fprintf(w, "OK %d\n", n)
 	return false
 }
 
+// handleResync serves the anti-entropy digest queries a repairing
+// cluster client drives before streaming missing cells:
+//
+//	RESYNC DIGEST <nb>          -> BLOCK of nb "bucket\tcount\tsum" lines
+//	RESYNC ROWS <nb> <bucket>   -> BLOCK of "row\tcount\tsum" lines for
+//	                               one bucket (bucket -1 = every row)
+//
+// Digests are order-independent and cross-process-stable (digest.go),
+// so two replicas holding the same cells always answer identically.
+func (s *Server) handleResync(w *bufio.Writer, parts []string) bool {
+	if len(parts) < 3 {
+		fmt.Fprintln(w, "ERR RESYNC wants DIGEST or ROWS arguments")
+		return false
+	}
+	nb, err := strconv.Atoi(parts[2])
+	if err != nil || nb < 1 || nb > 1<<16 {
+		fmt.Fprintln(w, "ERR bad bucket count")
+		return false
+	}
+	switch strings.ToUpper(parts[1]) {
+	case "DIGEST":
+		if len(parts) != 3 {
+			fmt.Fprintln(w, "ERR RESYNC DIGEST wants 1 argument")
+			return false
+		}
+		digs := s.store.BucketDigests(nb)
+		fmt.Fprintf(w, "BLOCK %d\n", len(digs))
+		for b, d := range digs {
+			fmt.Fprintf(w, "%d\t%d\t%d\n", b, d.Count, d.Sum)
+		}
+	case "ROWS":
+		if len(parts) != 4 {
+			fmt.Fprintln(w, "ERR RESYNC ROWS wants 2 arguments")
+			return false
+		}
+		bucket, err := strconv.Atoi(parts[3])
+		if err != nil || bucket >= nb {
+			fmt.Fprintln(w, "ERR bad bucket")
+			return false
+		}
+		rows := s.store.RowDigests(nb, bucket)
+		fmt.Fprintf(w, "BLOCK %d\n", len(rows))
+		for _, r := range rows {
+			fmt.Fprintf(w, "%s\t%d\t%d\n", r.Row, r.Count, r.Sum)
+		}
+	default:
+		fmt.Fprintln(w, "ERR RESYNC wants DIGEST or ROWS")
+	}
+	return false
+}
+
 // parseMutation parses the argument list of a PUT request or BATCH body
-// line into a Cell.
+// line into a Cell. Key validation happens here — before the WAL or
+// the store can see the mutation — so a key that would corrupt the
+// line formats is refused at the protocol boundary.
 func parseMutation(parts []string) (Cell, error) {
 	if len(parts) != 5 {
 		return Cell{}, errors.New("PUT wants 4 arguments")
+	}
+	if err := ValidateKey(parts[1]); err != nil {
+		return Cell{}, err
+	}
+	if err := ValidateKey(parts[2]); err != nil {
+		return Cell{}, err
 	}
 	v, err := parseValue(parts[3], parts[4])
 	if err != nil {

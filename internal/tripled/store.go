@@ -94,13 +94,22 @@ func (s *Store) stripeFor(row string) *stripe {
 	return s.stripes[maphash.String(s.seed, row)%uint64(len(s.stripes))]
 }
 
-// Put stores v at (row, col), replacing any existing value.
-func (s *Store) Put(row, col string, v assoc.Value) {
+// Put stores v at (row, col), replacing any existing value. Keys that
+// would corrupt the line-oriented persistence formats (tab, newline,
+// carriage return) are refused with a BadKeyError before any mutation.
+func (s *Store) Put(row, col string, v assoc.Value) error {
+	if err := ValidateKey(row); err != nil {
+		return err
+	}
+	if err := ValidateKey(col); err != nil {
+		return err
+	}
 	st := s.stripeFor(row)
 	st.mu.Lock()
 	st.put(row, col, v)
 	st.mu.Unlock()
 	s.version.Add(1)
+	return nil
 }
 
 func (st *stripe) put(row, col string, v assoc.Value) {
@@ -125,9 +134,19 @@ func (st *stripe) put(row, col string, v assoc.Value) {
 // PutBatch stores every cell. The stripe lock is held across runs of
 // consecutive same-stripe cells (table iterations arrive row-major, so
 // a whole row's cells share one acquisition) instead of once per cell.
-func (s *Store) PutBatch(cells []Cell) {
+// Key validation is all-or-nothing: a single bad key rejects the whole
+// batch with a BadKeyError before anything is applied.
+func (s *Store) PutBatch(cells []Cell) error {
 	if len(cells) == 0 {
-		return
+		return nil
+	}
+	for i := range cells {
+		if err := ValidateKey(cells[i].Row); err != nil {
+			return err
+		}
+		if err := ValidateKey(cells[i].Col); err != nil {
+			return err
+		}
 	}
 	var cur *stripe
 	for i := range cells {
@@ -143,6 +162,7 @@ func (s *Store) PutBatch(cells []Cell) {
 	}
 	cur.mu.Unlock()
 	s.version.Add(uint64(len(cells)))
+	return nil
 }
 
 // Get returns the value at (row, col).
@@ -412,13 +432,13 @@ type RowDegree struct {
 }
 
 // LoadAssoc bulk-inserts an associative array.
-func (s *Store) LoadAssoc(a *assoc.Assoc) {
+func (s *Store) LoadAssoc(a *assoc.Assoc) error {
 	cells := make([]Cell, 0, a.NNZ())
 	a.Iterate(func(row, col string, v assoc.Value) bool {
 		cells = append(cells, Cell{Row: row, Col: col, Val: v})
 		return true
 	})
-	s.PutBatch(cells)
+	return s.PutBatch(cells)
 }
 
 // rlockAll read-locks every stripe in index order, giving callers an
@@ -515,11 +535,15 @@ func (s *Store) ReplayLog(r io.Reader) error {
 		}
 		batch = append(batch, Cell{Row: parts[1], Col: parts[2], Val: v})
 		if len(batch) == cap(batch) {
-			s.PutBatch(batch)
+			if err := s.PutBatch(batch); err != nil {
+				return fmt.Errorf("tripled: log line <= %d: %w", line, err)
+			}
 			batch = batch[:0]
 		}
 	}
-	s.PutBatch(batch)
+	if err := s.PutBatch(batch); err != nil {
+		return fmt.Errorf("tripled: log line <= %d: %w", line, err)
+	}
 	return sc.Err()
 }
 
