@@ -251,9 +251,11 @@ type Result struct {
 
 // Frozen returns the sorted-key compilation of the study's correlation
 // tables (interned row IDs, per-band sorted sets), built once on first
-// use and shared by every Figure 4-8 emitter. Safe for concurrent use.
+// use and shared by every Figure 4-8 emitter. The build fans out across
+// ReportWorkers goroutines (FreezeParallel; 1 keeps it on the calling
+// goroutine). Safe for concurrent use.
 func (r *Result) Frozen() *correlate.Frozen {
-	r.frozenOnce.Do(func() { r.frozen = correlate.Freeze(r.Study) })
+	r.frozenOnce.Do(func() { r.frozen = correlate.FreezeParallel(r.Study, r.Config.ReportWorkers) })
 	return r.frozen
 }
 

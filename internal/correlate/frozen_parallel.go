@@ -1,0 +1,190 @@
+package correlate
+
+// frozen_parallel.go parallelizes Freeze over the repository's worker
+// pool. The serial Freeze interns row keys through one shared map, which
+// makes it inherently sequential (every insert orders against every
+// other); the parallel build replaces insertion-order interning with
+// rank interning, which decomposes:
+//
+//  1. Gather (parallel, one job per table): collect each month table's
+//     row keys and each snapshot's band-filtered row keys. Assoc.RowKeys
+//     is already sorted, so each unit's key list comes out sorted for
+//     free.
+//  2. Union (serial): pairwise-merge the sorted per-unit lists into one
+//     global sorted unique key list. A key's ID is its rank in this
+//     list.
+//  3. Resolve (parallel, one job per table): walk each unit's sorted
+//     keys against the global list with a linear two-pointer merge,
+//     emitting interned IDs — ascending by construction, so the per-set
+//     sort the serial Freeze needs disappears entirely.
+//
+// Rank IDs differ from Freeze's insertion-order IDs, but every Frozen
+// artifact is a set cardinality (|band ∩ month| under one shared ID
+// space), which is invariant under relabeling — Freeze stays the oracle
+// and TestFreezeParallelMatchesSerial pins artifact equality at every
+// worker count.
+
+import (
+	"context"
+	"runtime"
+	"sort"
+
+	"repro/internal/pool"
+	"repro/internal/stats"
+)
+
+// unitKeys is stage 1's output for one table: the unit's sorted row
+// keys, plus (for snapshots) each key's brightness band.
+type unitKeys struct {
+	keys  []string
+	bands []int // aligned with keys; nil for months
+}
+
+// FreezeParallel is Freeze distributed across up to workers goroutines
+// (<= 0 picks GOMAXPROCS; 1 runs the same algorithm on the caller's
+// goroutine). The returned Frozen yields artifacts identical to
+// Freeze's on every figure.
+func FreezeParallel(study Study, workers int) *Frozen {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	nm, ns := len(study.Months), len(study.Snapshots)
+	units := make([]unitKeys, nm+ns)
+
+	// Stage 1: per-table key gather. Jobs never fail and the context is
+	// never cancelled, so the pool errors are structurally nil.
+	_ = pool.Each(context.Background(), workers, nm+ns, func(_ context.Context, job int) error {
+		if job < nm {
+			units[job] = unitKeys{keys: study.Months[job].Table.RowKeys()}
+			return nil
+		}
+		snap := &study.Snapshots[job-nm]
+		rows := snap.Sources.RowKeys()
+		u := unitKeys{
+			keys:  make([]string, 0, len(rows)),
+			bands: make([]int, 0, len(rows)),
+		}
+		for _, row := range rows {
+			v, ok := snap.Sources.Get(row, "packets")
+			if !ok || !v.Numeric {
+				continue
+			}
+			b := stats.BandIndex(v.Num)
+			if b < 0 {
+				continue
+			}
+			u.keys = append(u.keys, row)
+			u.bands = append(u.bands, b)
+		}
+		units[job] = u
+		return nil
+	})
+
+	// Stage 2: union the sorted unit lists into the global ID space by
+	// binary merge reduction — O(total keys x log(tables)) comparisons,
+	// no hashing.
+	lists := make([][]string, 0, len(units))
+	for i := range units {
+		if len(units[i].keys) > 0 {
+			lists = append(lists, units[i].keys)
+		}
+	}
+	global := unionSorted(lists)
+
+	// Stage 3: per-table rank resolution.
+	f := &Frozen{
+		months: make([]frozenMonth, nm),
+		snaps:  make([]frozenSnapshot, ns),
+	}
+	_ = pool.Each(context.Background(), workers, nm+ns, func(_ context.Context, job int) error {
+		if job < nm {
+			m := study.Months[job]
+			f.months[job] = frozenMonth{
+				label: m.Label, month: m.Month,
+				ids: resolveRanks(units[job].keys, global),
+			}
+			return nil
+		}
+		snap := &study.Snapshots[job-nm]
+		u := &units[job]
+		byBand := make(map[int][]uint32)
+		gi := 0
+		for i, key := range u.keys {
+			for global[gi] != key {
+				gi++
+			}
+			// u.keys ascends, so IDs arrive ascending: each band's set is
+			// born sorted.
+			byBand[u.bands[i]] = append(byBand[u.bands[i]], uint32(gi))
+		}
+		fs := frozenSnapshot{label: snap.Label, month: snap.Month, nv: snap.NV,
+			bands: make([]frozenBand, 0, len(byBand))}
+		for b, set := range byBand {
+			fs.bands = append(fs.bands, frozenBand{band: b, ids: set})
+		}
+		sort.Slice(fs.bands, func(i, j int) bool { return fs.bands[i].band < fs.bands[j].band })
+		f.snaps[job-nm] = fs
+		return nil
+	})
+	return f
+}
+
+// unionSorted merges sorted string lists into one sorted unique list by
+// binary reduction (merge pairs, then pairs of pairs), so each key moves
+// O(log len(lists)) times.
+func unionSorted(lists [][]string) []string {
+	if len(lists) == 0 {
+		return nil
+	}
+	for len(lists) > 1 {
+		merged := make([][]string, 0, (len(lists)+1)/2)
+		for i := 0; i < len(lists); i += 2 {
+			if i+1 == len(lists) {
+				merged = append(merged, lists[i])
+				break
+			}
+			merged = append(merged, mergeUnique(lists[i], lists[i+1]))
+		}
+		lists = merged
+	}
+	// A single source list may carry duplicates only if the caller passed
+	// one table twice; table row keys are unique, so lists[0] is unique.
+	return lists[0]
+}
+
+// mergeUnique merges two sorted unique lists into one sorted unique
+// list.
+func mergeUnique(a, b []string) []string {
+	out := make([]string, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// resolveRanks maps a sorted key list to its ranks in the global sorted
+// list by linear merge; the output is ascending by construction.
+func resolveRanks(keys, global []string) []uint32 {
+	ids := make([]uint32, len(keys))
+	gi := 0
+	for i, key := range keys {
+		for global[gi] != key {
+			gi++
+		}
+		ids[i] = uint32(gi)
+	}
+	return ids
+}

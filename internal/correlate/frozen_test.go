@@ -23,9 +23,24 @@ func frozenFixture() Study {
 	})
 }
 
+// TestFrozenMatchesReference diffs both Frozen builders — the serial
+// insertion-order interner and the parallel rank interner — against the
+// map-based reference on every artifact.
 func TestFrozenMatchesReference(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		freeze func(Study) *Frozen
+	}{
+		{"serial", Freeze},
+		{"parallel", func(s Study) *Frozen { return FreezeParallel(s, 4) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) { testFrozenMatchesReference(t, tc.freeze) })
+	}
+}
+
+func testFrozenMatchesReference(t *testing.T, freeze func(Study) *Frozen) {
 	study := frozenFixture()
-	f := Freeze(study)
+	f := freeze(study)
 	if f.Months() != len(study.Months) || f.Snapshots() != len(study.Snapshots) {
 		t.Fatalf("frozen shape %d/%d, want %d/%d",
 			f.Months(), f.Snapshots(), len(study.Months), len(study.Snapshots))
@@ -74,6 +89,50 @@ func TestFrozenMatchesReference(t *testing.T) {
 		gotFits := f.FitSweep(si, 10)
 		if !reflect.DeepEqual(gotFits, wantFits) {
 			t.Errorf("FitSweep differs:\nfrozen %+v\nmap    %+v", gotFits, wantFits)
+		}
+	}
+}
+
+// TestFreezeParallelMatchesSerial sweeps worker counts and checks the
+// parallel build yields artifacts identical to the serial Freeze on
+// every figure. The two builders assign different IDs (insertion order
+// vs global rank), so the comparison is on the measurements — which are
+// set cardinalities, invariant under ID relabeling — not on internals.
+func TestFreezeParallelMatchesSerial(t *testing.T) {
+	study := frozenFixture()
+	serial := Freeze(study)
+	for _, workers := range []int{0, 1, 2, 3, 8} {
+		par := FreezeParallel(study, workers)
+		if par.Months() != serial.Months() || par.Snapshots() != serial.Snapshots() {
+			t.Fatalf("workers=%d: shape %d/%d, want %d/%d",
+				workers, par.Months(), par.Snapshots(), serial.Months(), serial.Snapshots())
+		}
+		for si := 0; si < serial.Snapshots(); si++ {
+			if !reflect.DeepEqual(par.Bands(si), serial.Bands(si)) {
+				t.Fatalf("workers=%d snapshot %d: bands %v, want %v",
+					workers, si, par.Bands(si), serial.Bands(si))
+			}
+			mi, err := serial.SameMonthIndex(si)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pmi, err := par.SameMonthIndex(si)
+			if err != nil || pmi != mi {
+				t.Fatalf("workers=%d snapshot %d: SameMonthIndex %d/%v, want %d", workers, si, pmi, err, mi)
+			}
+			if got, want := par.PeakCorrelation(si, mi), serial.PeakCorrelation(si, mi); !reflect.DeepEqual(got, want) {
+				t.Errorf("workers=%d snapshot %d: PeakCorrelation differs:\npar    %+v\nserial %+v", workers, si, got, want)
+			}
+			for _, b := range serial.Bands(si) {
+				got, gotErr := par.Temporal(si, b)
+				want, wantErr := serial.Temporal(si, b)
+				if (gotErr == nil) != (wantErr == nil) || !reflect.DeepEqual(got, want) {
+					t.Errorf("workers=%d snapshot %d band %d: Temporal differs", workers, si, b)
+				}
+			}
+			if got, want := par.FitSweep(si, 10), serial.FitSweep(si, 10); !reflect.DeepEqual(got, want) {
+				t.Errorf("workers=%d snapshot %d: FitSweep differs:\npar    %+v\nserial %+v", workers, si, got, want)
+			}
 		}
 	}
 }
@@ -197,6 +256,17 @@ func BenchmarkFreeze(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		Freeze(study)
+	}
+}
+
+// BenchmarkFreezeParallel measures the pooled rank-interning build at
+// full fan-out.
+func BenchmarkFreezeParallel(b *testing.B) {
+	study := frozenFixture()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FreezeParallel(study, 0)
 	}
 }
 

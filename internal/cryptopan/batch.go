@@ -1,0 +1,246 @@
+package cryptopan
+
+// batch.go vectorizes the Crypto-PAn walk over address slabs. The
+// telescope's shard workers anonymize whole packet slabs at a time, so
+// the batch entry points amortize three per-address costs the scalar
+// path pays: the pool round-trip for walk scratch, the per-address
+// RLock/Lock on the shared memo shards (batches probe and fill each
+// shard in one lock epoch), and — the algorithmic win — AES blocks for
+// walk levels that adjacent addresses share. Misses are sorted before
+// walking: the flip bit of level i is a pure function of the first i
+// address bits, so each address in a sorted pass reuses every level up
+// to its common prefix length with its predecessor and only pays AES
+// for the tail. Real slabs are heavy-tailed and prefix-clustered, which
+// makes the shared prefixes long exactly when batches are large.
+//
+// Every entry point computes bit-identical results to its scalar
+// counterpart (the batch differential tests pin this), so batching is
+// purely a throughput change.
+
+import (
+	"math/bits"
+	"slices"
+	"sync"
+
+	"repro/internal/ipaddr"
+)
+
+// anonymizeSorted computes the Crypto-PAn mapping for a strictly
+// ascending slice of original addresses, writing anonymized values into
+// out (which must have len(in)). Walk levels 0..15 come from the top16
+// table; for levels 16..31, an address reuses its predecessor's flip
+// bits up to their common prefix length and pays one AES block per
+// remaining level. The walk runs in passes over the one scratch buffer
+// b, 16 AES blocks or fewer per address.
+func (a *Anonymizer) anonymizeSorted(in, out []uint32, b *walkBuf) {
+	a.top16Once.Do(a.buildTop16)
+	padTop := uint32(a.pad[0])<<24 | uint32(a.pad[1])<<16 |
+		uint32(a.pad[2])<<8 | uint32(a.pad[3])
+	copy(b.block[4:], a.pad[4:])
+	var prev, prevFlips uint32
+	for k, orig := range in {
+		var flips uint32 // levels 16..31 flip bits at result bits 15..0
+		from := 16
+		if k > 0 {
+			// in is strictly ascending, so orig != prev and the shared
+			// prefix length is in [0, 31]. Level i (16..31) depends only
+			// on the first i bits, so every level <= shared is reusable.
+			shared := bits.LeadingZeros32(orig ^ prev)
+			if shared >= 16 {
+				keep := uint32(0xffff) << (31 - shared) & 0xffff
+				flips = prevFlips & keep
+				from = shared + 1
+			}
+		}
+		for i := from; i < 32; i++ {
+			mask := ^uint32(0) << (32 - uint(i))
+			prefix := orig&mask | padTop&^mask
+			b.block[0] = byte(prefix >> 24)
+			b.block[1] = byte(prefix >> 16)
+			b.block[2] = byte(prefix >> 8)
+			b.block[3] = byte(prefix)
+			a.cipher.Encrypt(b.out[:], b.block[:])
+			flips |= uint32(b.out[0]>>7) << (31 - uint(i))
+		}
+		out[k] = orig ^ (uint32(a.top16[orig>>16])<<16 | flips)
+		prev, prevFlips = orig, flips
+	}
+}
+
+// batchScratch is the pooled working set of one AnonymizeBatch call.
+type batchScratch struct {
+	wb   walkBuf
+	keys []uint64 // original address << 32 | slab index
+	uniq []uint32 // sorted unique originals
+	res  []uint32 // anonymized values aligned with uniq
+}
+
+var batchPool = sync.Pool{New: func() interface{} { return new(batchScratch) }}
+
+// AnonymizeBatch maps a slab of addresses in place, bit-identical to
+// calling Anonymize on each element. Duplicate addresses pay one walk;
+// distinct addresses sharing prefixes share the walk levels of their
+// common prefix (see anonymizeSorted). The steady-state path allocates
+// nothing: scratch is pooled and retained at slab capacity.
+func (a *Anonymizer) AnonymizeBatch(addrs []ipaddr.Addr) {
+	if len(addrs) == 0 {
+		return
+	}
+	s := batchPool.Get().(*batchScratch)
+	keys := s.keys[:0]
+	for i, v := range addrs {
+		keys = append(keys, uint64(uint32(v))<<32|uint64(uint32(i)))
+	}
+	slices.Sort(keys)
+	uniq := s.uniq[:0]
+	for i, k := range keys {
+		orig := uint32(k >> 32)
+		if i == 0 || orig != uint32(keys[i-1]>>32) {
+			uniq = append(uniq, orig)
+		}
+	}
+	res := growU32(s.res, len(uniq))
+	a.anonymizeSorted(uniq, res, &s.wb)
+	ui := 0
+	for _, k := range keys {
+		orig := uint32(k >> 32)
+		for uniq[ui] != orig {
+			ui++
+		}
+		addrs[uint32(k)] = ipaddr.Addr(res[ui])
+	}
+	s.keys, s.uniq, s.res = keys, uniq, res
+	batchPool.Put(s)
+}
+
+// cachedScratch is the pooled working set of one Cached.AnonymizeBatch
+// call: per-shard buckets so each memo shard is probed and filled under
+// one lock acquisition, plus the miss walk's sorted scratch.
+type cachedScratch struct {
+	wb      walkBuf
+	byShard [cacheShards][]uint64 // packed address << 32 | slab index
+	misses  [cacheShards][]uint64 // the subset not found during the probe epoch
+	uniq    []uint32
+	res     []uint32
+}
+
+var cachedBatchPool = sync.Pool{New: func() interface{} { return new(cachedScratch) }}
+
+// AnonymizeBatch maps a slab of addresses in place through the shared
+// memo, bit-identical to calling Anonymize on each element. Instead of
+// a lock acquisition per address, the slab is bucketed by memo shard
+// and each shard is probed under one RLock epoch; the misses are
+// deduplicated, sorted, walked with prefix sharing (anonymizeSorted),
+// and installed under one Lock epoch per shard. Safe for concurrent
+// use with every other Cached method: a concurrent miss on the same
+// address computes the same pure value, so late insertion is
+// idempotent, exactly as on the scalar path.
+func (c *Cached) AnonymizeBatch(addrs []ipaddr.Addr) {
+	if len(addrs) == 0 {
+		return
+	}
+	s := cachedBatchPool.Get().(*cachedScratch)
+	for i, v := range addrs {
+		sh := uint32(v) % cacheShards
+		s.byShard[sh] = append(s.byShard[sh], uint64(uint32(v))<<32|uint64(uint32(i)))
+	}
+	totalMiss := 0
+	for sh := range s.byShard {
+		entries := s.byShard[sh]
+		if len(entries) == 0 {
+			continue
+		}
+		miss := s.misses[sh][:0]
+		shard := &c.shards[sh]
+		shard.mu.RLock()
+		for _, e := range entries {
+			if v, ok := shard.m[ipaddr.Addr(uint32(e>>32))]; ok {
+				addrs[uint32(e)] = v
+			} else {
+				miss = append(miss, e)
+			}
+		}
+		shard.mu.RUnlock()
+		s.misses[sh] = miss
+		totalMiss += len(miss)
+	}
+	if totalMiss > 0 {
+		uniq := s.uniq[:0]
+		for sh := range s.misses {
+			for _, e := range s.misses[sh] {
+				uniq = append(uniq, uint32(e>>32))
+			}
+		}
+		slices.Sort(uniq)
+		uniq = slices.Compact(uniq)
+		res := growU32(s.res, len(uniq))
+		c.inner.anonymizeSorted(uniq, res, &s.wb)
+		for sh := range s.misses {
+			miss := s.misses[sh]
+			if len(miss) == 0 {
+				continue
+			}
+			shard := &c.shards[sh]
+			shard.mu.Lock()
+			for _, e := range miss {
+				orig := uint32(e >> 32)
+				j, _ := slices.BinarySearch(uniq, orig)
+				v := ipaddr.Addr(res[j])
+				shard.m[ipaddr.Addr(orig)] = v
+				addrs[uint32(e)] = v
+			}
+			shard.mu.Unlock()
+		}
+		s.uniq, s.res = uniq, res
+	}
+	for sh := range s.byShard {
+		s.byShard[sh] = s.byShard[sh][:0]
+		s.misses[sh] = s.misses[sh][:0]
+	}
+	cachedBatchPool.Put(s)
+}
+
+// AnonymizeBatch maps a slab of addresses in place through the L1 memo,
+// bit-identical to calling Anonymize on each element: hits cost one
+// array probe, and all misses of the slab go to the shared cache as a
+// single batch (one lock epoch per touched shard, prefix-shared AES
+// walks) before being installed in the L1. Like every L1 method it must
+// only run on the L1's owning goroutine; the slab itself is caller
+// owned and may be reused freely afterwards. The steady-state path
+// allocates nothing.
+func (l *L1) AnonymizeBatch(addrs []ipaddr.Addr) {
+	miss := l.missIdx[:0]
+	for i, v := range addrs {
+		si := (uint32(v) * 2654435761) >> (32 - l1Bits)
+		s := &l.slots[si]
+		if s.key == uint64(v)|1<<32 {
+			addrs[i] = s.val
+		} else {
+			miss = append(miss, int32(i))
+		}
+	}
+	if len(miss) == 0 {
+		l.missIdx = miss
+		return
+	}
+	ma := l.missAddrs[:0]
+	for _, i := range miss {
+		ma = append(ma, addrs[i])
+	}
+	l.shared.AnonymizeBatch(ma)
+	for k, i := range miss {
+		orig := addrs[i]
+		v := ma[k]
+		addrs[i] = v
+		si := (uint32(orig) * 2654435761) >> (32 - l1Bits)
+		l.slots[si] = l1Slot{key: uint64(orig) | 1<<32, val: v}
+	}
+	l.missIdx, l.missAddrs = miss, ma
+}
+
+func growU32(s []uint32, n int) []uint32 {
+	if cap(s) < n {
+		return make([]uint32, n)
+	}
+	return s[:n]
+}

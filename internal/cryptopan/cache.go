@@ -121,6 +121,11 @@ type L1 struct {
 	shared *Cached
 	buf    walkBuf // single-goroutine walk scratch: no pool traffic on misses
 	slots  [1 << l1Bits]l1Slot
+
+	// AnonymizeBatch miss scratch, retained at slab capacity so warm
+	// batches allocate nothing (single-goroutine, like the walk buffer).
+	missIdx   []int32
+	missAddrs []ipaddr.Addr
 }
 
 // NewL1 returns an empty per-goroutine memo over the shared cache.

@@ -1,0 +1,5 @@
+//go:build !race
+
+package cryptopan
+
+const raceEnabled = false

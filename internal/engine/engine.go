@@ -1,8 +1,9 @@
 // Package engine implements the sharded, streaming window build at the
 // heart of the pipeline: packet sources (the telescope synthesizer, pcap
-// readers) feed bounded channels into N shard workers, each accumulating
-// hypersparse leaf matrices of LeafSize entries, and a hierarchical
-// merge tree reduces the shards into one per-window matrix.
+// readers) feed raw packet slabs to N shard workers — each filtering,
+// mapping, and accumulating hypersparse leaf matrices of LeafSize
+// entries — and a hierarchical merge tree reduces the shards into one
+// per-window matrix.
 //
 // The engine is the parallel counterpart of the paper's construction:
 // NV = 2^17-packet leaves are built independently and hierarchically
@@ -12,10 +13,30 @@
 // which is what makes Workers=1 a usable correctness oracle for any
 // worker count.
 //
-// Flow control is explicit throughout: the reader blocks when all shard
-// queues are full (backpressure, bounded memory), and every blocking
-// point selects on context cancellation so a capture can be abandoned
-// mid-window without leaking goroutines.
+// # Filter timestamp-parity rule
+//
+// The validity filter runs inside the shard workers, not on the reader
+// goroutine, yet filtered windows are byte-identical to the serial
+// oracle. Two rules make that hold:
+//
+//  1. Slab cap: every slab read is capped at the number of accepted
+//     packets the window still needs (nv - NV). Accepted <= raw, so the
+//     window can only reach nv on a slab that was accepted in full —
+//     the nv-th accepted packet is always the last raw packet of its
+//     slab, the consumed stream prefix equals the per-packet oracle's,
+//     and a dropped packet can never shift a window boundary.
+//  2. Ordered merge: workers filter disjoint chunks of one slab behind
+//     a per-slab barrier and report per-chunk accept counts and
+//     first/last accepted timestamps; the reader merges those in chunk
+//     (= stream) order, so Start/End/NV/Dropped are computed in exactly
+//     the order the serial loop would have seen the packets.
+//
+// The reader overlaps I/O with the barrier: while workers chew slab k
+// it speculatively reads up to nv - NV - len(slab k) further packets —
+// at least that many are still needed even if slab k is accepted in
+// full, so speculation never consumes a packet the oracle would have
+// left in the source (multi-window captures over one shared source cut
+// identical boundaries).
 package engine
 
 import (
@@ -44,18 +65,19 @@ type Errorer interface {
 }
 
 // BatchSource is optionally implemented by sources that can emit many
-// packets per call (radiation.Stream). NextBatch must fill dst from the
-// front and return how many packets were produced, behaving exactly
-// like len(dst) successful Next calls: same packets, same order, same
-// stream position. When a source implements it, the engine's reader
-// pulls slabs instead of single packets, amortizing the per-packet
-// dispatch that otherwise bottlenecks every shard worker behind the
-// reader goroutine.
+// packets per call (radiation.Stream, telescope.ReaderSource). NextBatch
+// must fill dst from the front and return how many packets were
+// produced, behaving exactly like len(dst) successful Next calls: same
+// packets, same order, same stream position. When a source implements
+// it, the engine's reader pulls slabs instead of single packets,
+// amortizing the per-packet dispatch that otherwise bottlenecks every
+// shard worker behind the reader goroutine.
 //
 // The reader caps each slab at the number of packets still missing from
-// the window, so a capture never consumes a packet the per-packet path
-// would have left in the source: multi-window captures over one shared
-// source cut identical window boundaries either way.
+// the window (see the timestamp-parity rule above), so a capture never
+// consumes a packet the per-packet path would have left in the source:
+// multi-window captures over one shared source cut identical window
+// boundaries either way.
 type BatchSource interface {
 	NextBatch(dst []pcap.Packet) int
 }
@@ -76,7 +98,9 @@ func (a batchAdapter) NextBatch(dst []pcap.Packet) int {
 }
 
 // Filter reports whether a packet belongs in the window (the telescope's
-// validity filter). It runs on the reader goroutine.
+// validity filter). It is compiled/constructed once per engine and, with
+// Workers > 1, evaluated concurrently on the shard workers — it must be
+// safe for concurrent use (pcap.Filter's compiled closures are).
 type Filter func(*pcap.Packet) bool
 
 // Pair is one accepted packet reduced to its matrix coordinates.
@@ -94,6 +118,22 @@ type Mapper func(*pcap.Packet) Pair
 // goroutine, so it may keep unsynchronized per-worker state (the
 // telescope hangs a lock-free L1 anonymization memo here). Every Mapper
 // produced by one factory must compute the same function.
+type SlabMapperFactory func(shard int) SlabMapper
+
+// SlabMapper converts a slab of accepted packets to matrix coordinates:
+// dst[i] must receive pkts[i]'s pair, for all i (len(dst) >= len(pkts)).
+// Slab granularity lets the mapper batch its own internals — the
+// telescope anonymizes a whole slab of addresses through one batched
+// CryptoPAN call instead of two scalar calls per packet. Like Mapper, a
+// SlabMapper from one factory shard is only ever called from its own
+// worker goroutine and may keep unsynchronized per-worker state, and
+// every mapper from one factory must compute the same per-packet
+// function.
+type SlabMapper func(pkts []pcap.Packet, dst []Pair)
+
+// MapperFactory builds one Mapper per shard worker for each capture —
+// the per-packet counterpart of SlabMapperFactory, lifted by
+// NewPerWorker.
 type MapperFactory func(shard int) Mapper
 
 // Config parameterizes an Engine.
@@ -104,11 +144,14 @@ type Config struct {
 	// LeafSize is the number of entries per leaf matrix (the paper's
 	// leaf NV is 2^17).
 	LeafSize int
-	// Batch is the number of accepted packets handed to a shard at once;
-	// 0 defaults to LeafSize so one batch fills one leaf.
+	// Batch is the per-worker chunk granularity: a sharded slab holds up
+	// to Batch x Workers raw packets and is split into Workers chunks of
+	// at most Batch packets; 0 defaults to LeafSize so one chunk can
+	// fill one leaf.
 	Batch int
-	// Queue is the bound on in-flight batches (the backpressure window);
-	// 0 defaults to 2 x Workers.
+	// Queue is retained for configuration compatibility. The slab
+	// barrier replaced the in-flight batch queue (at most one slab of
+	// chunks is ever outstanding), so the value is no longer read.
 	Queue int
 }
 
@@ -134,14 +177,16 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// Engine is a configured, reusable window builder. Construct with New
-// or NewPerWorker.
+// Engine is a configured, reusable window builder. Construct with New,
+// NewPerWorker, or NewPerWorkerSlab.
 type Engine struct {
-	cfg     Config
-	filter  Filter
-	factory MapperFactory
-	pool    sync.Pool // batch buffers recycled between reader and shards
-	accPool sync.Pool // shard accumulators, retained across windows
+	cfg      Config
+	filter   Filter
+	factory  SlabMapperFactory
+	pool     sync.Pool // serial-path slab buffers (Batch packets)
+	slabPool sync.Pool // sharded-path double buffers (Batch x Workers packets)
+	pairPool sync.Pool // per-worker coordinate slabs (Batch pairs)
+	accPool  sync.Pool // shard accumulators, retained across windows
 }
 
 // New builds an Engine from a validity filter and a coordinate mapper.
@@ -158,6 +203,24 @@ func New(cfg Config, filter Filter, mapper Mapper) (*Engine, error) {
 // mapper benefits from per-worker state. A nil filter accepts every
 // packet.
 func NewPerWorker(cfg Config, filter Filter, factory MapperFactory) (*Engine, error) {
+	if factory == nil {
+		return nil, fmt.Errorf("engine: mapper factory required")
+	}
+	return NewPerWorkerSlab(cfg, filter, func(shard int) SlabMapper {
+		m := factory(shard)
+		return func(pkts []pcap.Packet, dst []Pair) {
+			for i := range pkts {
+				dst[i] = m(&pkts[i])
+			}
+		}
+	})
+}
+
+// NewPerWorkerSlab builds an Engine whose shard workers map whole
+// accepted-packet slabs at a time through per-worker SlabMappers; use it
+// when the mapper can batch its own internals (the telescope's batched
+// CryptoPAN anonymization). A nil filter accepts every packet.
+func NewPerWorkerSlab(cfg Config, filter Filter, factory SlabMapperFactory) (*Engine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -171,6 +234,14 @@ func NewPerWorker(cfg Config, filter Filter, factory MapperFactory) (*Engine, er
 	e := &Engine{cfg: cfg, filter: filter, factory: factory}
 	e.pool.New = func() interface{} {
 		s := make([]pcap.Packet, 0, cfg.Batch)
+		return &s
+	}
+	e.slabPool.New = func() interface{} {
+		s := make([]pcap.Packet, 0, cfg.Batch*cfg.Workers)
+		return &s
+	}
+	e.pairPool.New = func() interface{} {
+		s := make([]Pair, cfg.Batch)
 		return &s
 	}
 	e.accPool.New = func() interface{} {
@@ -190,6 +261,12 @@ type Window struct {
 	Dropped    int // packets rejected by the filter
 	Leaves     int // leaf matrices cut across all shards
 	Shards     int // shard workers that contributed leaves
+	// ShardDrops is the filter's per-shard drop accounting (index =
+	// shard worker). The distribution across shards depends on which
+	// worker filtered which chunk, but the sum always equals Dropped —
+	// and Dropped itself is identical to the serial oracle's count. The
+	// serial path reports one shard.
+	ShardDrops []int
 	Matrix     *hypersparse.Matrix
 }
 
@@ -227,19 +304,24 @@ func (e *Engine) CaptureWindow(ctx context.Context, src PacketSource, nv int) (*
 }
 
 // ctxPollInterval bounds how many packets are read between context
-// polls, so an abandoned capture stops promptly even when the filter
-// rejects everything (a batch, and hence a send-side poll, only fills
-// with accepted packets).
+// polls on the serial path, so an abandoned capture stops promptly even
+// when the filter rejects everything. The sharded path polls once per
+// slab, which bounds the same latency at one slab's work.
 const ctxPollInterval = 4096
 
 // captureSerial is the Workers=1 degenerate path: one goroutine
 // interleaves filtering, mapping, and leaf assembly, exactly mirroring
 // the pre-engine telescope build. It is kept as the correctness oracle
-// the sharded path is diffed against.
+// the sharded path is diffed against. Filtering compacts each slab's
+// accepted packets in place so the slab mapper sees one contiguous run,
+// same as on the shard workers.
 func (e *Engine) captureSerial(ctx context.Context, src BatchSource, nv int) (*Window, error) {
 	acc := e.getAcc()
 	defer e.accPool.Put(acc)
 	mapper := e.factory(0)
+	pairsBuf := e.getPairs()
+	defer e.putPairs(pairsBuf)
+	pairs := *pairsBuf
 	w := &Window{Shards: 1}
 	raw := e.getBatch()
 	defer e.putBatch(raw)
@@ -261,115 +343,192 @@ func (e *Engine) captureSerial(ctx context.Context, src BatchSource, nv int) (*W
 				return nil, ctx.Err()
 			}
 		}
+		kept := 0
 		for i := range slab[:n] {
 			pkt := &slab[i]
 			if !e.filter(pkt) {
 				w.Dropped++
 				continue
 			}
-			e.observe(w, pkt)
-			p := mapper(pkt)
-			acc.Add(p.Row, p.Col, 1)
-			w.NV++
+			if w.NV+kept == 0 {
+				w.Start = pkt.Time
+			}
+			w.End = pkt.Time
+			if kept != i {
+				slab[kept] = *pkt
+			}
+			kept++
+		}
+		if kept > 0 {
+			mapper(slab[:kept], pairs[:kept])
+			for _, p := range pairs[:kept] {
+				acc.Add(p.Row, p.Col, 1)
+			}
+			w.NV += kept
 		}
 	}
 	w.Leaves = acc.Leaves()
 	if w.NV%e.cfg.LeafSize != 0 {
 		w.Leaves++ // partial tail leaf
 	}
+	w.ShardDrops = []int{w.Dropped}
 	w.Matrix = acc.Finish()
 	return w, nil
 }
 
-// shardResult is one worker's contribution to the merge tree.
-type shardResult struct {
-	matrix *hypersparse.Matrix
-	leaves int
+// chunkTask is one contiguous span of the current slab handed to a
+// shard worker: filter, map, accumulate, report into res, then release
+// the slab barrier.
+type chunkTask struct {
+	pkts []pcap.Packet
+	res  *chunkResult
+	wg   *sync.WaitGroup
 }
 
-// captureSharded is the parallel path: the caller's goroutine reads and
-// filters the stream while Workers shard goroutines map coordinates and
-// cut leaves, each reducing its own leaves before the final cross-shard
-// hierarchical merge.
+// chunkResult is what the reader needs to merge a chunk's stream
+// accounting in order: how many packets survived the filter and the
+// timestamps of the first and last survivors.
+type chunkResult struct {
+	accepted    int
+	first, last time.Time
+}
+
+// shardResult is one worker's contribution to the merge tree.
+type shardResult struct {
+	shard  int
+	matrix *hypersparse.Matrix
+	leaves int
+	drops  int
+}
+
+// captureSharded is the parallel path: the caller's goroutine reads raw
+// slabs and splits each into Workers chunks behind a per-slab barrier;
+// the shard workers filter, map, and accumulate their chunks in
+// parallel (per-shard drop counters, merged after the capture), while
+// the reader speculatively pre-reads the next slab. See the package
+// comment for the parity argument.
 func (e *Engine) captureSharded(ctx context.Context, src BatchSource, nv int) (*Window, error) {
-	batches := make(chan *[]pcap.Packet, e.cfg.Queue)
-	results := make(chan shardResult, e.cfg.Workers)
-	var wg sync.WaitGroup
-	for i := 0; i < e.cfg.Workers; i++ {
-		wg.Add(1)
+	workers := e.cfg.Workers
+	// One task channel per worker: chunk i of every slab goes to shard
+	// worker i. The deterministic assignment makes leaf and drop
+	// accounting reproducible across runs (channel scheduling can no
+	// longer shuffle chunks between shards), which is what lets the
+	// differential tests compare sharded windows field for field.
+	tasks := make([]chan chunkTask, workers)
+	results := make(chan shardResult, workers)
+	var workerWG sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		tasks[i] = make(chan chunkTask, 1)
+		workerWG.Add(1)
 		go func(shard int) {
-			defer wg.Done()
-			e.shardWorker(ctx, shard, batches, results)
+			defer workerWG.Done()
+			e.shardWorker(ctx, shard, tasks[shard], results)
 		}(i)
 	}
 
-	// The reader pulls whole slabs and compacts the accepted packets
-	// into shard batches, so the per-packet cost on the (serial) reader
-	// goroutine is one filter call and one copy.
 	w := &Window{}
-	batch := e.getBatch()
+	curBuf, nextBuf := e.getSlab(), e.getSlab()
+	defer e.putSlab(curBuf)
+	defer e.putSlab(nextBuf)
+	cur, next := (*curBuf)[:cap(*curBuf)], (*nextBuf)[:cap(*nextBuf)]
+	chunks := make([]chunkResult, workers)
+	var barrier sync.WaitGroup
 	var readErr error
-	raw := e.getBatch()
-	slab := (*raw)[:cap(*raw)]
-	read := 0
-	for w.NV < nv && batch != nil {
-		want := nv - w.NV
-		if want > len(slab) {
-			want = len(slab)
+
+	curN := 0
+	{
+		want := nv
+		if want > len(cur) {
+			want = len(cur)
 		}
-		n := src.NextBatch(slab[:want])
-		if n == 0 {
+		curN = src.NextBatch(cur[:want])
+	}
+	for curN > 0 {
+		if err := ctx.Err(); err != nil {
+			readErr = err
 			break
 		}
-		if read += n; read >= ctxPollInterval {
-			read = 0
-			if ctx.Err() != nil {
-				readErr = ctx.Err()
-				e.putBatch(batch)
-				batch = nil
-				break
+		// Split the slab into at most one chunk per worker. Each task
+		// channel holds one entry and is empty here (the previous barrier
+		// drained it), so dispatch never blocks.
+		per := (curN + workers - 1) / workers
+		nchunks := 0
+		for off := 0; off < curN; off += per {
+			end := off + per
+			if end > curN {
+				end = curN
 			}
+			chunks[nchunks] = chunkResult{}
+			barrier.Add(1)
+			tasks[nchunks] <- chunkTask{pkts: cur[off:end], res: &chunks[nchunks], wg: &barrier}
+			nchunks++
 		}
-		for i := range slab[:n] {
-			pkt := &slab[i]
-			if !e.filter(pkt) {
-				w.Dropped++
-				continue
-			}
-			e.observe(w, pkt)
-			*batch = append(*batch, *pkt)
-			w.NV++
-			if len(*batch) == e.cfg.Batch {
-				if readErr = e.send(ctx, batches, batch); readErr != nil {
-					batch = nil
-					break
+		// Speculative read-ahead, overlapped with the workers: even if
+		// the in-flight slab is accepted in full the window still needs
+		// nv - NV - curN more packets, so reading that many can never
+		// overrun the oracle's consumed prefix. spec > 0 only when the
+		// window cannot complete on the in-flight slab.
+		spec := nv - w.NV - curN
+		if spec > len(next) {
+			spec = len(next)
+		}
+		nextN := 0
+		specDone := spec > 0
+		if specDone {
+			nextN = src.NextBatch(next[:spec])
+		}
+		barrier.Wait()
+		// Merge chunk accounting in stream order (parity rule 2).
+		for i := 0; i < nchunks; i++ {
+			r := &chunks[i]
+			if r.accepted > 0 {
+				if w.NV == 0 {
+					w.Start = r.first
 				}
-				batch = e.getBatch()
+				w.End = r.last
+				w.NV += r.accepted
 			}
 		}
+		if w.NV >= nv {
+			break
+		}
+		if specDone {
+			if nextN == 0 {
+				break // stream ran dry during the speculative read
+			}
+			cur, next = next, cur
+			curN = nextN
+			continue
+		}
+		// No speculation was possible (the slab could have completed the
+		// window but didn't): read synchronously with the exact cap.
+		want := nv - w.NV
+		if want > len(cur) {
+			want = len(cur)
+		}
+		curN = src.NextBatch(cur[:want])
 	}
-	e.putBatch(raw)
-	if readErr == nil && batch != nil && len(*batch) > 0 {
-		readErr = e.send(ctx, batches, batch)
+	for i := range tasks {
+		close(tasks[i])
 	}
-	close(batches)
-	wg.Wait()
+	workerWG.Wait()
 	close(results)
 
+	if readErr == nil {
+		readErr = ctx.Err()
+	}
 	if readErr != nil {
 		// Drain results so shard matrices are released before returning.
 		for range results {
 		}
 		return nil, readErr
 	}
-	if err := ctx.Err(); err != nil {
-		for range results {
-		}
-		return nil, err
-	}
 
-	shardMats := make([]*hypersparse.Matrix, 0, e.cfg.Workers)
+	shardMats := make([]*hypersparse.Matrix, 0, workers)
+	w.ShardDrops = make([]int, workers)
 	for r := range results {
+		w.ShardDrops[r.shard] = r.drops
+		w.Dropped += r.drops
 		if r.leaves == 0 {
 			continue
 		}
@@ -377,43 +536,70 @@ func (e *Engine) captureSharded(ctx context.Context, src BatchSource, nv int) (*
 		w.Shards++
 		shardMats = append(shardMats, r.matrix)
 	}
-	w.Matrix = hypersparse.HierSum(shardMats, e.cfg.Workers)
+	w.Matrix = hypersparse.HierSum(shardMats, workers)
 	return w, nil
 }
 
-// shardWorker drains batches, mapping each packet to coordinates and
-// accumulating leaf matrices, then reduces its leaves and reports one
-// shard matrix. On cancellation it keeps draining (so the reader is
-// never blocked on a full queue) but stops doing work.
-func (e *Engine) shardWorker(ctx context.Context, shard int, batches <-chan *[]pcap.Packet, results chan<- shardResult) {
+// shardWorker drains chunk tasks: filter its chunk (counting drops into
+// the per-shard counter), compact the survivors, map them to
+// coordinates through the per-worker slab mapper, and accumulate leaf
+// matrices; then reduce its leaves and report one shard matrix. On
+// cancellation it stops doing work but keeps releasing barriers so the
+// reader never deadlocks.
+func (e *Engine) shardWorker(ctx context.Context, shard int, tasks <-chan chunkTask, results chan<- shardResult) {
 	acc := e.getAcc()
 	defer e.accPool.Put(acc)
 	mapper := e.factory(shard)
+	pairsBuf := e.getPairs()
+	pairs := *pairsBuf
+	drops := 0
 	ingested := 0
-	for batch := range batches {
+	for t := range tasks {
 		if ctx.Err() != nil {
-			e.putBatch(batch)
+			t.wg.Done() // abandoned: release the barrier, contribute nothing
 			continue
 		}
-		for i := range *batch {
-			p := mapper(&(*batch)[i])
-			acc.Add(p.Row, p.Col, 1)
+		pkts := t.pkts
+		kept := 0
+		for i := range pkts {
+			p := &pkts[i]
+			if !e.filter(p) {
+				drops++
+				continue
+			}
+			if kept == 0 {
+				t.res.first = p.Time
+			}
+			t.res.last = p.Time
+			if kept != i {
+				pkts[kept] = *p
+			}
+			kept++
 		}
-		ingested += len(*batch)
-		e.putBatch(batch)
+		t.res.accepted = kept
+		if kept > 0 {
+			mapper(pkts[:kept], pairs[:kept])
+			for _, p := range pairs[:kept] {
+				acc.Add(p.Row, p.Col, 1)
+			}
+			ingested += kept
+		}
+		t.wg.Done()
 	}
+	*pairsBuf = pairs
+	e.putPairs(pairsBuf)
 	if ctx.Err() != nil {
 		// The capture is abandoned and the result will be drained unread:
 		// skip the merge entirely.
 		acc.Discard()
-		results <- shardResult{}
+		results <- shardResult{shard: shard}
 		return
 	}
 	leaves := acc.Leaves()
 	if ingested%e.cfg.LeafSize != 0 {
 		leaves++ // partial tail leaf
 	}
-	results <- shardResult{matrix: acc.Finish(), leaves: leaves}
+	results <- shardResult{shard: shard, matrix: acc.Finish(), leaves: leaves, drops: drops}
 }
 
 // getAcc takes a pooled shard accumulator; accumulators return to the
@@ -421,26 +607,6 @@ func (e *Engine) shardWorker(ctx context.Context, shard int, batches <-chan *[]p
 // so repeated windows allocate nothing for leaf assembly.
 func (e *Engine) getAcc() *hypersparse.Accumulator {
 	return e.accPool.Get().(*hypersparse.Accumulator)
-}
-
-// send hands a full batch to the shard pool, blocking under backpressure
-// until a queue slot frees or ctx is cancelled.
-func (e *Engine) send(ctx context.Context, batches chan<- *[]pcap.Packet, batch *[]pcap.Packet) error {
-	select {
-	case batches <- batch:
-		return nil
-	case <-ctx.Done():
-		e.putBatch(batch)
-		return ctx.Err()
-	}
-}
-
-// observe updates the window's time span for an accepted packet.
-func (e *Engine) observe(w *Window, pkt *pcap.Packet) {
-	if w.NV == 0 {
-		w.Start = pkt.Time
-	}
-	w.End = pkt.Time
 }
 
 func (e *Engine) getBatch() *[]pcap.Packet {
@@ -451,4 +617,22 @@ func (e *Engine) getBatch() *[]pcap.Packet {
 
 func (e *Engine) putBatch(b *[]pcap.Packet) {
 	e.pool.Put(b)
+}
+
+func (e *Engine) getSlab() *[]pcap.Packet {
+	b := e.slabPool.Get().(*[]pcap.Packet)
+	*b = (*b)[:0]
+	return b
+}
+
+func (e *Engine) putSlab(b *[]pcap.Packet) {
+	e.slabPool.Put(b)
+}
+
+func (e *Engine) getPairs() *[]Pair {
+	return e.pairPool.Get().(*[]Pair)
+}
+
+func (e *Engine) putPairs(b *[]Pair) {
+	e.pairPool.Put(b)
 }

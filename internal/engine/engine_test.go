@@ -263,9 +263,10 @@ func TestSourceErrorPropagates(t *testing.T) {
 	}
 }
 
-// TestBackpressureTinyQueue drives the sharded path through a queue of
-// one batch, forcing the reader to block on every send; the capture must
-// still complete and conserve NV.
+// TestBackpressureTinyQueue pins Config.Queue compatibility: the field
+// is vestigial (the per-slab barrier bounds in-flight memory at two
+// slabs, so there is no queue to size), but configs that set it must
+// keep completing captures that conserve NV.
 func TestBackpressureTinyQueue(t *testing.T) {
 	st, dark := testStream(t, 5)
 	e := testEngine(t, Config{Workers: 3, LeafSize: 128, Batch: 32, Queue: 1}, dark)

@@ -82,6 +82,7 @@ type Reader struct {
 	r       *bufio.Reader
 	swapped bool
 	buf     []byte
+	err     error // deferred NextBatch error: reported by the call after a short batch
 }
 
 // ErrBadMagic indicates the stream is not a classic pcap file.
@@ -110,9 +111,16 @@ func NewReader(r io.Reader) (*Reader, error) {
 	return &Reader{r: br, swapped: swapped, buf: make([]byte, 0, 2048)}, nil
 }
 
-// ReadFrame returns the next record's timestamp and raw bytes. The byte
-// slice is reused between calls; callers must copy to retain it. Returns
+// ReadFrame returns the next record's timestamp and raw bytes. Returns
 // io.EOF at end of file.
+//
+// Ownership hazard: the returned slice aliases the Reader's internal
+// buffer and is overwritten by the next ReadFrame or NextBatch call —
+// retaining it across calls reads the *next* record's bytes, silently.
+// Callers must copy to retain (TestReadFrameReusesBuffer pins this
+// hazard). ReadPacket and NextBatch are the safe alternatives: both
+// fully decode into caller-owned Packet values before the buffer is
+// touched again, so nothing they return aliases the Reader.
 func (r *Reader) ReadFrame() (time.Time, []byte, error) {
 	var hdr [16]byte
 	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {

@@ -2,6 +2,7 @@ package pcap
 
 import (
 	"bytes"
+	"io"
 	"testing"
 	"time"
 )
@@ -66,6 +67,78 @@ func FuzzReader(f *testing.F) {
 				// Timestamps are attacker-controlled; just ensure no panic.
 				_ = p.Time
 			}
+		}
+	})
+}
+
+// FuzzReaderBatch is the batch decoder's differential harness: on
+// arbitrary bytes, NextBatch (zero-copy slab path) must decode exactly
+// the packet sequence of a ReadPacket loop (copying per-record oracle),
+// end with the same error class, and never panic. The slab size is
+// derived from the input so the fuzzer also explores batch-boundary
+// positions.
+func FuzzReaderBatch(f *testing.F) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		f.Fatal(err)
+	}
+	arp := make([]byte, 64)
+	arp[12], arp[13] = 0x08, 0x06
+	for i := 0; i < 5; i++ {
+		if err := w.WritePacket(samplePacket(i)); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := w.WriteFrame(time.Unix(0, 0), arp); err != nil {
+		f.Fatal(err)
+	}
+	w.Flush()
+	f.Add(buf.Bytes(), uint8(4))
+	f.Add(buf.Bytes()[:len(buf.Bytes())-7], uint8(1))
+	f.Add([]byte("not a pcap file at all, just text"), uint8(16))
+
+	f.Fuzz(func(t *testing.T, data []byte, slabHint uint8) {
+		slabSize := int(slabHint)%64 + 1
+		br, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		pr, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("oracle reader rejected what batch reader accepted: %v", err)
+		}
+		slab := make([]Packet, slabSize)
+		const limit = 4096
+		decoded := 0
+		var batchErr error
+		for decoded < limit {
+			n, err := br.NextBatch(slab)
+			if n == 0 {
+				batchErr = err
+				break
+			}
+			for i := 0; i < n; i++ {
+				var want Packet
+				if err := pr.ReadPacket(&want); err != nil {
+					t.Fatalf("batch decoded packet %d but oracle errored: %v", decoded, err)
+				}
+				if slab[i] != want {
+					t.Fatalf("packet %d mismatch:\n  batch  %+v\n  oracle %+v", decoded, slab[i], want)
+				}
+				decoded++
+			}
+		}
+		if decoded >= limit {
+			return // both streams still healthy at the cap; good enough
+		}
+		var rest Packet
+		oracleErr := pr.ReadPacket(&rest)
+		if oracleErr == nil {
+			t.Fatalf("batch ended with %v after %d packets but oracle decoded another", batchErr, decoded)
+		}
+		if (batchErr == io.EOF) != (oracleErr == io.EOF) {
+			t.Fatalf("terminal error class mismatch: batch %v, oracle %v", batchErr, oracleErr)
 		}
 	})
 }

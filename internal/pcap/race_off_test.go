@@ -1,0 +1,5 @@
+//go:build !race
+
+package pcap
+
+const raceEnabled = false

@@ -298,5 +298,5 @@ func runFrozen(g *Graph) (any, error) {
 	if g.in.Frozen != nil {
 		return g.in.Frozen(), nil
 	}
-	return correlate.Freeze(g.in.Study), nil
+	return correlate.FreezeParallel(g.in.Study, g.workers()), nil
 }

@@ -1,30 +1,44 @@
 package telescope
 
 // engine.go plugs the telescope into the sharded streaming window
-// engine: the validity filter runs on the engine's reader goroutine, the
-// CryptoPAN mapper runs on the shard workers (the cache is sharded and
-// concurrency safe, so repeated addresses cost one AES walk regardless
-// of worker count), and the engine's merge tree produces the window
-// matrix. Workers=1 is the serial degenerate path, byte-identical to
-// CaptureWindow's output.
+// engine: the validity filter and the CryptoPAN mapping both run on the
+// engine's shard workers — each worker filters its chunk of the slab,
+// then anonymizes the survivors' addresses as one batch through its own
+// L1 memo (misses fall through to the shared sharded cache in a single
+// lock epoch per cache shard, with prefix-shared AES walks) — and the
+// engine's merge tree produces the window matrix. Workers=1 is the
+// serial degenerate path, byte-identical to CaptureWindow's output.
 
 import (
 	"context"
 
 	"repro/internal/cryptopan"
 	"repro/internal/engine"
+	"repro/internal/ipaddr"
 	"repro/internal/pcap"
 )
+
+// shardAnon is one shard worker's persistent anonymization state: the
+// L1 memo in front of the telescope's shared cache, plus the address
+// slab the mapper gathers packet endpoints into. Both are reused across
+// captures (Telescope runs one capture at a time), so steady-state
+// mapping allocates nothing.
+type shardAnon struct {
+	l1    *cryptopan.L1
+	addrs []ipaddr.Addr
+}
 
 // Engine returns a window engine wired to this telescope's validity
 // filter, anonymizer, and leaf size. workers and batch follow
 // engine.Config semantics (<= 0 picks defaults). Each shard worker maps
-// through its own L1 anonymization memo in front of the telescope's
-// shared sharded cache, so hot (heavy-tailed) addresses cost one
-// lock-free array probe per packet.
+// whole accepted-packet slabs at a time: it gathers the slab's source
+// and destination addresses and anonymizes them in one batched call
+// through its own L1 memo, so hot (heavy-tailed) addresses cost one
+// lock-free array probe and cold slabs pay one lock epoch per touched
+// cache shard instead of two lock round-trips per packet.
 //
 // Engines are cached per (workers, batch) and reused across captures,
-// so the engine's pooled shard accumulators and batch buffers — and the
+// so the engine's pooled shard accumulators and slab buffers — and the
 // per-shard L1 memos — stay warm from one window to the next. This is
 // covered by the Telescope's one-capture-at-a-time contract.
 func (t *Telescope) Engine(workers, batch int) (*engine.Engine, error) {
@@ -34,16 +48,24 @@ func (t *Telescope) Engine(workers, batch int) (*engine.Engine, error) {
 		return eng, nil
 	}
 	t.poolMu.Unlock()
-	eng, err := engine.NewPerWorker(
+	eng, err := engine.NewPerWorkerSlab(
 		engine.Config{Workers: workers, LeafSize: t.leafSize, Batch: batch},
 		t.Valid,
-		func(shard int) engine.Mapper {
-			l1 := t.shardL1(shard)
-			return func(p *pcap.Packet) engine.Pair {
-				return engine.Pair{
-					Row: uint32(l1.Anonymize(p.Src)),
-					Col: uint32(l1.Anonymize(p.Dst)),
+		func(shard int) engine.SlabMapper {
+			sa := t.shardAnon(shard)
+			return func(pkts []pcap.Packet, dst []engine.Pair) {
+				addrs := sa.addrs[:0]
+				for i := range pkts {
+					addrs = append(addrs, pkts[i].Src, pkts[i].Dst)
 				}
+				sa.l1.AnonymizeBatch(addrs)
+				for i := range pkts {
+					dst[i] = engine.Pair{
+						Row: uint32(addrs[2*i]),
+						Col: uint32(addrs[2*i+1]),
+					}
+				}
+				sa.addrs = addrs
 			}
 		})
 	if err != nil {
@@ -55,21 +77,21 @@ func (t *Telescope) Engine(workers, batch int) (*engine.Engine, error) {
 	return eng, nil
 }
 
-// shardL1 returns the given shard's L1 anonymization memo, creating it
+// shardAnon returns the given shard's anonymization state, creating it
 // on first use. L1 entries memoize the telescope's fixed anonymizer, so
 // reusing them across captures is safe and keeps hot addresses warm from
 // one window to the next; the one-capture-at-a-time contract on
-// Telescope guarantees a shard's L1 is only ever driven by one goroutine
-// at a time.
-func (t *Telescope) shardL1(shard int) *cryptopan.L1 {
+// Telescope guarantees a shard's state is only ever driven by one
+// goroutine at a time.
+func (t *Telescope) shardAnon(shard int) *shardAnon {
 	t.poolMu.Lock()
 	defer t.poolMu.Unlock()
-	l1 := t.l1s[shard]
-	if l1 == nil {
-		l1 = t.anon.NewL1()
-		t.l1s[shard] = l1
+	sa := t.shards[shard]
+	if sa == nil {
+		sa = &shardAnon{l1: t.anon.NewL1()}
+		t.shards[shard] = sa
 	}
-	return l1
+	return sa
 }
 
 // CaptureWindowEngine captures a constant-packet window through the

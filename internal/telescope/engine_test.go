@@ -1,11 +1,13 @@
 package telescope
 
 import (
+	"bytes"
 	"context"
 	"testing"
 	"time"
 
 	"repro/internal/hypersparse"
+	"repro/internal/pcap"
 	"repro/internal/radiation"
 	"repro/internal/stats"
 )
@@ -135,6 +137,89 @@ func TestEngineCaptureCancel(t *testing.T) {
 	cancel()
 	if _, err := tel.CaptureWindowEngine(ctx, pop.TelescopeStream(3, time.Unix(0, 0)), 1<<20, 4, 0); err == nil {
 		t.Error("cancelled capture succeeded")
+	}
+}
+
+// TestEngineReaderSourceMatchesSerial is the wire-format slab path end
+// to end: radiation -> pcap file -> batched reader (ReaderSource
+// satisfies the engine's BatchSource, so the engine pulls whole decoded
+// slabs) -> sharded engine with in-worker filtering and batched
+// CryptoPAN -> window. It must match the classic serial capture over a
+// fresh reader of the same bytes exactly.
+func TestEngineReaderSourceMatchesSerial(t *testing.T) {
+	pop := testPopulation(t, 800)
+	st := pop.TelescopeStream(4, time.Unix(1_592_395_200, 0))
+	var buf bytes.Buffer
+	pw, err := pcap.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pkt pcap.Packet
+	for emitted := 0; st.Next(&pkt) && emitted < 5000; emitted++ {
+		if err := pw.WritePacket(&pkt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pw.Flush()
+	read := func() *ReaderSource {
+		pr, err := pcap.NewReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &ReaderSource{R: pr}
+	}
+
+	const nv = 2000
+	classicTel := New(pop.Config().Darkspace, "pcap-engine")
+	classic, err := classicTel.CaptureWindow(read(), nv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		tel := New(pop.Config().Darkspace, "pcap-engine")
+		w, err := tel.CaptureWindowEngine(context.Background(), read(), nv, workers, 128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.NV != classic.NV || w.Dropped != classic.Dropped ||
+			!w.Start.Equal(classic.Start) || !w.End.Equal(classic.End) {
+			t.Fatalf("workers=%d: window %d/%d [%v, %v], want %d/%d [%v, %v]",
+				workers, w.NV, w.Dropped, w.Start, w.End,
+				classic.NV, classic.Dropped, classic.Start, classic.End)
+		}
+		if !hypersparse.Equal(w.Matrix, classic.Matrix) {
+			t.Fatalf("workers=%d: matrix differs from serial pcap capture", workers)
+		}
+	}
+}
+
+// TestEngineReaderSourceTruncated verifies a mid-stream pcap decode
+// error surfaces from the batched engine path (through the deferred
+// NextBatch error and the Errorer hook), not silently as a short
+// window.
+func TestEngineReaderSourceTruncated(t *testing.T) {
+	pop := testPopulation(t, 500)
+	st := pop.TelescopeStream(4, time.Unix(1_592_395_200, 0))
+	var buf bytes.Buffer
+	pw, err := pcap.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pkt pcap.Packet
+	for emitted := 0; st.Next(&pkt) && emitted < 2000; emitted++ {
+		if err := pw.WritePacket(&pkt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pw.Flush()
+	data := buf.Bytes()[:buf.Len()-5] // cut the last record's body
+	pr, err := pcap.NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := New(pop.Config().Darkspace, "truncated-engine")
+	if _, err := tel.CaptureWindowEngine(context.Background(), &ReaderSource{R: pr}, 1<<20, 4, 0); err == nil {
+		t.Fatal("truncated pcap capture succeeded")
 	}
 }
 

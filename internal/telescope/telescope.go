@@ -50,6 +50,22 @@ func (rs *ReaderSource) Next(p *pcap.Packet) bool {
 	return false
 }
 
+// NextBatch implements the engine's BatchSource hook: it decodes a slab
+// of packets per call through pcap.Reader.NextBatch, amortizing header
+// parsing and letting the engine hand whole slabs to its shard workers.
+// A mid-stream decode error ends the stream (possibly after a short
+// final slab) and is reported through Err, exactly like Next.
+func (rs *ReaderSource) NextBatch(dst []pcap.Packet) int {
+	if rs.err != nil {
+		return 0
+	}
+	n, err := rs.R.NextBatch(dst)
+	if err != nil && err != io.EOF {
+		rs.err = err
+	}
+	return n
+}
+
 // Err reports the first non-EOF read error, if any. It satisfies the
 // engine's Errorer hook, so truncated captures surface from any capture
 // path.
@@ -73,7 +89,7 @@ type Telescope struct {
 	anon      *cryptopan.Cached
 
 	poolMu  sync.Mutex
-	l1s     map[int]*cryptopan.L1     // per-shard L1 memos, reused across captures
+	shards  map[int]*shardAnon        // per-shard L1 memos + slab scratch, reused across captures
 	engines map[[2]int]*engine.Engine // cached per (workers, batch): pooled accumulators and batch buffers persist across windows
 
 	revCache map[ipaddr.Addr]ipaddr.Addr // memoized inverse mapping
@@ -109,7 +125,7 @@ func New(darkspace ipaddr.Prefix, anonPassphrase string, opts ...Option) *Telesc
 	t := &Telescope{
 		darkspace: darkspace,
 		leafSize:  1 << 14,
-		l1s:       make(map[int]*cryptopan.L1),
+		shards:    make(map[int]*shardAnon),
 		engines:   make(map[[2]int]*engine.Engine),
 	}
 	for _, o := range opts {
